@@ -1,0 +1,184 @@
+// Command cachechar characterizes cache misses for the paper's kernels and
+// for user-written loop nests: it prints the symbolic component inventory
+// (Table 1), regenerates the predicted-vs-simulated miss tables (Tables 2
+// and 3), and evaluates ad-hoc configurations.
+//
+// Usage:
+//
+//	cachechar -table 1                # symbolic inventory for tiled matmul
+//	cachechar -table 2 -simulate      # Table 2 with exact simulation (minutes)
+//	cachechar -table 3                # Table 3, predictions only (instant)
+//	cachechar -kernel twoindex -dump-tree
+//	cachechar -kernel matmul -n 256 -tiles 32,64,32 -cache-kb 16 -simulate
+//	cachechar -kernel fourindex -n 32 -cache-kb 64 -inventory
+//	cachechar -file mynest.loop -D N=256 -D TI=32 -cache-kb 64 -validate
+//
+// The -file format is documented in internal/loopir/parse.go; bind its
+// symbols with repeated -D name=value flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/expr"
+	"repro/internal/loopir"
+	"repro/internal/validate"
+)
+
+type defineList []string
+
+func (d *defineList) String() string     { return fmt.Sprint(*d) }
+func (d *defineList) Set(s string) error { *d = append(*d, s); return nil }
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "regenerate paper table 1, 2 or 3")
+		kernel    = flag.String("kernel", "matmul", "kernel: matmul | twoindex | fourindex")
+		file      = flag.String("file", "", "analyze a loop nest from a file instead of a built-in kernel")
+		simulate  = flag.Bool("simulate", false, "also run the exact trace simulation")
+		doVal     = flag.Bool("validate", false, "per-site predicted-vs-simulated cross-check")
+		dump      = flag.Bool("dump-tree", false, "print the loop nest")
+		inventory = flag.Bool("inventory", false, "print the symbolic component inventory")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON (ad-hoc and -inventory modes)")
+		n         = flag.Int64("n", 256, "loop bound for built-in kernels")
+		tiles     = flag.String("tiles", "", "comma-separated tile sizes")
+		cacheKB   = flag.Int64("cache-kb", 64, "cache size in KB of doubles")
+		lineElems = flag.Int64("line", 0, "also predict with the spatial model at this line size (elements)")
+		defines   defineList
+	)
+	flag.Var(&defines, "D", "symbol binding name=value for -file nests (repeatable)")
+	flag.Parse()
+	if err := run(*table, *kernel, *file, *simulate, *doVal, *dump, *inventory, *jsonOut, *n, *tiles, *cacheKB, *lineElems, defines); err != nil {
+		fmt.Fprintln(os.Stderr, "cachechar:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table int, kernel, file string, simulate, doVal, dump, inventory, jsonOut bool,
+	n int64, tiles string, cacheKB, lineElems int64, defines []string) error {
+	switch table {
+	case 1:
+		nest, _, err := experiments.BuildKernel("matmul", 256, nil)
+		if err != nil {
+			return err
+		}
+		a, err := core.Analyze(nest)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 1: iteration-space partitions and symbolic stack distances")
+		fmt.Print(a.Table())
+		return nil
+	case 2:
+		rows, err := experiments.RunTable2(simulate)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatMissRows(
+			"Table 2: cache miss prediction for the tiled two-index transform", rows))
+		return nil
+	case 3:
+		rows, err := experiments.RunTable3(simulate)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatMissRows(
+			"Table 3: cache miss prediction for tiled matrix multiplication", rows))
+		return nil
+	case 0:
+		// ad-hoc mode below
+	default:
+		return fmt.Errorf("unknown table %d (want 1, 2 or 3)", table)
+	}
+
+	var (
+		nest *loopir.Nest
+		env  expr.Env
+		err  error
+	)
+	if file != "" {
+		defs, derr := experiments.ParseDefines(defines)
+		if derr != nil {
+			return derr
+		}
+		nest, env, err = experiments.LoadNestFile(file, defs)
+	} else {
+		ts, terr := experiments.ParseTiles(tiles)
+		if terr != nil {
+			return terr
+		}
+		nest, env, err = experiments.BuildKernel(kernel, n, ts)
+	}
+	if err != nil {
+		return err
+	}
+	if dump {
+		fmt.Print(loopir.Unparse(nest))
+		return nil
+	}
+	a, err := core.Analyze(nest)
+	if err != nil {
+		return err
+	}
+	if inventory {
+		if jsonOut {
+			data, err := a.InventoryJSON()
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(data))
+			return nil
+		}
+		fmt.Print(a.Table())
+		return nil
+	}
+	cache := experiments.KB(cacheKB)
+	if doVal {
+		cmps, err := validate.Run(a, env, []int64{cache})
+		if err != nil {
+			return err
+		}
+		fmt.Print(validate.Format(cmps))
+		return validate.CheckCompulsory(cmps)
+	}
+	rep, err := a.PredictMisses(env, cache)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		data, err := a.ReportToJSON(env, rep)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	fmt.Printf("nest %s  env %v  cache %d KB (%d elements)\n", nest.Name, env, cacheKB, cache)
+	fmt.Printf("accesses  %d\n", rep.Accesses)
+	fmt.Printf("predicted %d misses (%.3f%% of accesses)\n",
+		rep.Total, 100*float64(rep.Total)/float64(rep.Accesses))
+	for site, m := range rep.BySite {
+		fmt.Printf("  %-8s %12d\n", site, m)
+	}
+	if lineElems > 0 {
+		lrep, err := a.PredictLineMisses(env, cache, lineElems)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("spatial model (%d-element lines): %d misses (%.3f%%)\n",
+			lineElems, lrep.Total, 100*float64(lrep.Total)/float64(lrep.Accesses))
+	}
+	if simulate {
+		cmps, err := validate.Run(a, env, []int64{cache})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("simulated %d misses (rel err %.3f%%)\n",
+			cmps[0].SimulatedTotal, 100*cmps[0].RelErr())
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+// Command smpbench regenerates Figures 10 and 11: parallel execution time
+// of the tiled two-index transform on a shared-memory multiprocessor, for
+// equi-sized tiles versus the model-predicted tile, across processor counts
+// {1, 2, 4, 8}.
+//
+// The machine model is the §7 analysis: each processor executes the
+// sequential subproblem with the partitioned bound scaled by 1/P; time is
+// flops·flopCost + misses·missPenalty under the infinite-bandwidth limit
+// (per-processor misses) and the bus-limited limit (summed misses). With
+// -run the native Go kernel is also executed with goroutines and wall-clock
+// timed (meaningful only on a multi-core host).
+//
+// Usage:
+//
+//	smpbench -n 1024        # Figure 10
+//	smpbench -n 2048        # Figure 11
+//	smpbench -n 512 -run    # include real goroutine execution
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/expr"
+	"repro/internal/kernels"
+	"repro/internal/smp"
+)
+
+func toEnv(m map[string]int64) expr.Env {
+	out := expr.Env{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func main() {
+	var (
+		n       = flag.Int64("n", 1024, "loop range (1024 = Fig. 10, 2048 = Fig. 11)")
+		run     = flag.Bool("run", false, "also execute the native kernel with goroutines")
+		speedup = flag.Bool("speedup", false, "print the speedup/efficiency table for the predicted tile")
+	)
+	flag.Parse()
+	if err := mainE(*n, *run, *speedup); err != nil {
+		fmt.Fprintln(os.Stderr, "smpbench:", err)
+		os.Exit(1)
+	}
+}
+
+func mainE(n int64, run, speedup bool) error {
+	fig := "Figure 10"
+	if n == 2048 {
+		fig = "Figure 11"
+	} else if n != 1024 {
+		fig = fmt.Sprintf("Figure 10/11 analogue at N=%d", n)
+	}
+	pts, err := experiments.RunFigure(n)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatFigure(
+		fmt.Sprintf("%s: two-index transform, loop range %d, 64 KB cache, model time", fig, n), pts))
+
+	if speedup {
+		a, err := experiments.TwoIndexAnalysis()
+		if err != nil {
+			return err
+		}
+		model := smp.DefaultCostModel()
+		env := map[string]int64{
+			"NI": n, "NJ": n, "NM": n, "NN": n,
+			"TI": 64, "TJ": 16, "TM": 16, "TN": 64,
+		}
+		eenv := make(map[string]int64, len(env))
+		for k, v := range env {
+			eenv[k] = v
+		}
+		var preds []*smp.Prediction
+		for _, p := range []int64{1, 2, 4, 8, 16} {
+			cfg := smp.Config{Procs: p, SplitSymbol: "NN", CacheElems: 8192, Model: model}
+			pred, err := smp.Predict(a, toEnv(eenv), cfg)
+			if err != nil {
+				return err
+			}
+			preds = append(preds, pred)
+		}
+		fmt.Println()
+		fmt.Print(smp.FormatPredictions(
+			"speedup/efficiency (infinite-bandwidth limit, predicted tile):", preds, model))
+	}
+
+	if !run {
+		return nil
+	}
+	fmt.Println("\nnative goroutine execution (wall clock):")
+	a := kernels.NewMatrix(int(n), int(n))
+	c1 := kernels.NewMatrix(int(n), int(n))
+	c2 := kernels.NewMatrix(int(n), int(n))
+	a.FillSequential(0.001)
+	c1.FillSequential(0.002)
+	c2.FillSequential(0.003)
+	for _, procs := range []int{1, 2, 4, 8} {
+		b := kernels.NewMatrix(int(n), int(n))
+		start := time.Now()
+		if err := smp.RunParallelTwoIndex(a, c1, c2, b, 64, 16, 16, 64, procs); err != nil {
+			return err
+		}
+		fmt.Printf("  P=%d tiles=(64,16,16,64): %v\n", procs, time.Since(start))
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+// Command tilesearch runs the paper's §6 tile-size search and regenerates
+// Table 4 (best tile sizes with known and unknown loop bounds).
+//
+// Usage:
+//
+//	tilesearch -table4                      # the full Table 4 sweep
+//	tilesearch -kernel twoindex -n 1024     # one known-bounds search
+//	tilesearch -kernel matmul -n 512 -cache-kb 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/expr"
+	"repro/internal/tilesearch"
+)
+
+func main() {
+	var (
+		table4  = flag.Bool("table4", false, "regenerate Table 4")
+		kernel  = flag.String("kernel", "twoindex", "kernel: matmul | twoindex")
+		n       = flag.Int64("n", 256, "loop bound")
+		cacheKB = flag.Int64("cache-kb", 64, "cache size in KB of doubles")
+	)
+	flag.Parse()
+	if err := run(*table4, *kernel, *n, *cacheKB); err != nil {
+		fmt.Fprintln(os.Stderr, "tilesearch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table4 bool, kernel string, n, cacheKB int64) error {
+	if table4 {
+		res, err := experiments.RunTable4([]int64{32, 64, 128, 256, 512, 1024})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 4: best tile sizes, two-index transform, 64 KB cache")
+		fmt.Printf("%-8s %-28s %-28s\n", "N", "best with known bounds", "best with unknown bounds")
+		unk := renderTiles(res.UnknownBest)
+		for _, row := range res.Rows {
+			fmt.Printf("%-8d %-28s %-28s\n", row.N, renderTiles(row.KnownBest), unk)
+		}
+		return nil
+	}
+
+	var (
+		a    *core.Analysis
+		dims []tilesearch.Dim
+		base expr.Env
+		err  error
+	)
+	switch kernel {
+	case "twoindex":
+		a, err = experiments.TwoIndexAnalysis()
+		dims = []tilesearch.Dim{{Symbol: "TI", Max: n}, {Symbol: "TJ", Max: n},
+			{Symbol: "TM", Max: n}, {Symbol: "TN", Max: n}}
+		base = expr.Env{"NI": n, "NJ": n, "NM": n, "NN": n}
+	case "matmul":
+		a, err = experiments.MatmulAnalysis()
+		dims = []tilesearch.Dim{{Symbol: "TI", Max: n}, {Symbol: "TJ", Max: n}, {Symbol: "TK", Max: n}}
+		base = expr.Env{"N": n}
+	default:
+		return fmt.Errorf("unknown kernel %q", kernel)
+	}
+	if err != nil {
+		return err
+	}
+	res, err := tilesearch.Search(a, tilesearch.Options{
+		Dims:       dims,
+		CacheElems: experiments.KB(cacheKB),
+		BaseEnv:    base,
+		DivisorOf:  n,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("kernel %s, N=%d, cache %d KB\n", kernel, n, cacheKB)
+	fmt.Printf("best: %s\n", res.Best)
+	fmt.Printf("frontier candidates (coarse phase):\n")
+	for _, c := range res.Frontier {
+		fmt.Printf("  %s\n", c)
+	}
+	fmt.Printf("model evaluations: %d\n", res.Evaluated)
+	return nil
+}
+
+func renderTiles(t map[string]int64) string {
+	keys := make([]string, 0, len(t))
+	for k := range t {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := "("
+	for i, k := range keys {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%s=%d", k, t[k])
+	}
+	return out + ")"
+}

@@ -1,0 +1,211 @@
+// Command tracesim is the generic trace/cache-simulation tool: it generates
+// the exact reference trace of a kernel (or replays a stored one) and plays
+// it through the exact fully-associative LRU stack simulator (one pass
+// yields miss counts for every requested cache size plus the stack-distance
+// histogram), optionally through set-associative and direct-mapped caches
+// for sensitivity analysis beyond the paper's fully-associative model, and
+// optionally through a two-level cache hierarchy.
+//
+// Usage:
+//
+//	tracesim -kernel twoindex -n 256 -tiles 64,16,16,64 -cache-kb 16,64,256
+//	tracesim -kernel matmul -n 256 -tiles 32,32,32 -cache-kb 16 -assoc 4 -line 8
+//	tracesim -kernel matmul -n 64 -tiles 8,8,8 -l1-kb 4 -l2-kb 64
+//	tracesim -kernel matmul -n 64 -tiles 8,8,8 -dump trace.bin
+//	tracesim -replay trace.bin -cache-kb 16,64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cachesim"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		kernel  = flag.String("kernel", "matmul", "kernel: matmul | twoindex | fourindex")
+		n       = flag.Int64("n", 128, "loop bound")
+		tiles   = flag.String("tiles", "", "comma-separated tile sizes")
+		cacheKB = flag.String("cache-kb", "64", "comma-separated cache sizes in KB")
+		assoc   = flag.Int("assoc", 0, "additionally simulate a set-associative cache with this many ways")
+		line    = flag.Int64("line", 1, "line size in elements for the set-associative cache")
+		l1KB    = flag.Int64("l1-kb", 0, "two-level mode: L1 size in KB (requires -l2-kb)")
+		l2KB    = flag.Int64("l2-kb", 0, "two-level mode: L2 size in KB")
+		dump    = flag.String("dump", "", "write the trace to this file and exit")
+		replay  = flag.String("replay", "", "replay a stored trace instead of generating one")
+	)
+	flag.Parse()
+	if err := run(*kernel, *n, *tiles, *cacheKB, *assoc, *line, *l1KB, *l2KB, *dump, *replay); err != nil {
+		fmt.Fprintln(os.Stderr, "tracesim:", err)
+		os.Exit(1)
+	}
+}
+
+// traceSource abstracts generated vs replayed traces.
+type traceSource struct {
+	nSites    int
+	addrSpace int64
+	siteNames []string
+	run       func(trace.Emit) error
+}
+
+func openSource(kernel string, n int64, tiles, replay string) (*traceSource, error) {
+	if replay != "" {
+		f, err := os.Open(replay)
+		if err != nil {
+			return nil, err
+		}
+		// Read the header once to size the simulators, then re-open per run.
+		h, _, err := trace.ReadTrace(f, func(int, int64) {})
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		names := make([]string, h.NSites)
+		for i := range names {
+			names[i] = fmt.Sprintf("site#%d", i)
+		}
+		return &traceSource{
+			nSites:    h.NSites,
+			addrSpace: h.AddrSpace,
+			siteNames: names,
+			run: func(emit trace.Emit) error {
+				f, err := os.Open(replay)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				_, _, err = trace.ReadTrace(f, emit)
+				return err
+			},
+		}, nil
+	}
+	ts, err := experiments.ParseTiles(tiles)
+	if err != nil {
+		return nil, err
+	}
+	nest, env, err := experiments.BuildKernel(kernel, n, ts)
+	if err != nil {
+		return nil, err
+	}
+	p, err := trace.Compile(nest, env)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(p.Sites))
+	for i, s := range p.Sites {
+		names[i] = s.String()
+	}
+	fmt.Printf("kernel %s env %v\n", kernel, env)
+	return &traceSource{
+		nSites:    len(p.Sites),
+		addrSpace: p.Size,
+		siteNames: names,
+		run:       func(emit trace.Emit) error { p.Run(emit); return nil },
+	}, nil
+}
+
+func run(kernel string, n int64, tiles, cacheKB string, assoc int, line, l1KB, l2KB int64, dump, replay string) error {
+	src, err := openSource(kernel, n, tiles, replay)
+	if err != nil {
+		return err
+	}
+	if dump != "" {
+		f, err := os.Create(dump)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w, err := trace.NewWriter(f, src.nSites, src.addrSpace)
+		if err != nil {
+			return err
+		}
+		if err := src.run(w.Emit); err != nil {
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d records to %s\n", w.Records(), dump)
+		return nil
+	}
+	if l1KB > 0 || l2KB > 0 {
+		if l1KB <= 0 || l2KB <= 0 {
+			return fmt.Errorf("two-level mode needs both -l1-kb and -l2-kb")
+		}
+		h, err := cachesim.NewHierarchy(src.addrSpace, experiments.KB(l1KB), experiments.KB(l2KB))
+		if err != nil {
+			return err
+		}
+		if err := src.run(func(_ int, addr int64) { h.Access(addr) }); err != nil {
+			return err
+		}
+		fmt.Printf("two-level hierarchy L1=%dKB L2=%dKB over %d accesses:\n", l1KB, l2KB, h.Accesses())
+		fmt.Printf("  L1 hits %d (%.3f%%)  L2 hits %d (%.3f%%)  memory %d (%.3f%%)\n",
+			h.L1Hits, pct(h.L1Hits, h.Accesses()),
+			h.L2Hits, pct(h.L2Hits, h.Accesses()),
+			h.MemAccesses, pct(h.MemAccesses, h.Accesses()))
+		fmt.Printf("  AMAT (1/10/150 cycles): %.3f cycles\n", h.AMAT(1, 10, 150))
+		return nil
+	}
+
+	var watches []int64
+	for _, p := range strings.Split(cacheKB, ",") {
+		kb, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad cache size %q", p)
+		}
+		watches = append(watches, experiments.KB(kb))
+	}
+	sim := cachesim.NewStackSim(src.addrSpace, src.nSites, watches)
+	var extra *cachesim.AssocCache
+	if assoc > 0 {
+		extra, err = cachesim.NewAssocCache(watches[0], assoc, line)
+		if err != nil {
+			return err
+		}
+	}
+	if err := src.run(func(site int, addr int64) {
+		sim.Access(site, addr)
+		if extra != nil {
+			extra.Access(addr)
+		}
+	}); err != nil {
+		return err
+	}
+	res := sim.Results()
+	fmt.Printf("trace length %d, address space %d elements\n", res.Accesses, src.addrSpace)
+	fmt.Printf("accesses %d, distinct addresses (compulsory misses) %d\n", res.Accesses, res.Distinct)
+	for i, w := range res.Watches {
+		fmt.Printf("fully-assoc LRU %6d KB: %12d misses (%.3f%%)\n",
+			w*experiments.ElemBytes/1024, res.Misses[i], 100*res.MissRatio(i))
+	}
+	if extra != nil {
+		fmt.Printf("%d-way LRU (line %d elems) %d KB: %d misses (%.3f%%)\n",
+			assoc, line, watches[0]*experiments.ElemBytes/1024, extra.Misses(), 100*extra.MissRatio())
+	}
+	fmt.Println("per-site misses (first watched size):")
+	for i, name := range src.siteNames {
+		ps := res.PerSite[i]
+		if ps.Accesses == 0 {
+			continue
+		}
+		fmt.Printf("  %-40s %12d / %12d\n", name, ps.Misses[0], ps.Accesses)
+	}
+	fmt.Println("stack-distance histogram:")
+	fmt.Print(res.SDHistogramString())
+	return nil
+}
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

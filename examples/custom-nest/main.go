@@ -1,0 +1,66 @@
+// Custom-nest example: define a loop nest in the textual format, analyze it
+// with the paper's model, and audit the prediction per reference site
+// against exact simulation — the workflow for programs that are not one of
+// the built-in kernels.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/loopir"
+	"repro/internal/validate"
+)
+
+// A fused "transform one slice at a time" program in the paper's class:
+// T is a column buffer reused across the outer loop.
+const program = `
+nest sliced_transform
+array A[N, N]
+array M[N, N]
+array T[N]
+array OUT[N, N]
+
+for i = N {
+  for k = N {
+    S1: T[k] = 0
+  }
+  for j = N {
+    for k = N {
+      S2: T[k] += M[k, j] * A[j, i]
+    }
+  }
+  for k = N {
+    S3: OUT[k, i] += T[k]
+  }
+}
+`
+
+func main() {
+	nest, err := loopir.Parse(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(loopir.Unparse(nest))
+
+	analysis, err := core.Analyze(nest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncomponent inventory (symbolic):")
+	fmt.Println(analysis.Table())
+
+	env := expr.Env{"N": 96}
+	caches := []int64{64, 512, 4096} // elements
+	cmps, err := validate.Run(analysis, env, caches)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(validate.Format(cmps))
+	if err := validate.CheckCompulsory(cmps); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compulsory-miss invariant holds: model first touches == distinct addresses")
+}

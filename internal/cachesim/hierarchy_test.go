@@ -1,0 +1,77 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHierarchyClassification(t *testing.T) {
+	h, err := NewHierarchy(64, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trace: a b c d a  — distances: inf inf inf inf, then a at depth 4.
+	for _, addr := range []int64{0, 1, 2, 3, 0} {
+		h.Access(addr)
+	}
+	if h.MemAccesses != 4 {
+		t.Errorf("mem accesses %d want 4", h.MemAccesses)
+	}
+	if h.L2Hits != 1 {
+		t.Errorf("L2 hits %d want 1 (sd 4 fits L2 not L1)", h.L2Hits)
+	}
+	if h.L1Hits != 0 {
+		t.Errorf("L1 hits %d want 0", h.L1Hits)
+	}
+	h.Access(0) // immediate re-access: sd 1 → L1
+	if h.L1Hits != 1 {
+		t.Errorf("L1 hits %d want 1", h.L1Hits)
+	}
+	if h.Accesses() != 6 {
+		t.Errorf("accesses %d", h.Accesses())
+	}
+}
+
+func TestHierarchyConsistentWithSeparateSims(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	const space = 96
+	h, err := NewHierarchy(space, 8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := NewStackSim(space, 1, []int64{8, 32})
+	for i := 0; i < 40000; i++ {
+		addr := int64(r.Intn(space))
+		h.Access(addr)
+		flat.Access(0, addr)
+	}
+	res := flat.Results()
+	m1, _ := res.MissesFor(8)
+	m2, _ := res.MissesFor(32)
+	if h.L1Hits != res.Accesses-m1 {
+		t.Errorf("L1 hits %d vs %d", h.L1Hits, res.Accesses-m1)
+	}
+	if h.MemAccesses != m2 {
+		t.Errorf("memory accesses %d vs L2 misses %d", h.MemAccesses, m2)
+	}
+	if h.L2Hits != m1-m2 {
+		t.Errorf("L2 hits %d vs %d", h.L2Hits, m1-m2)
+	}
+}
+
+func TestHierarchyAMAT(t *testing.T) {
+	h, _ := NewHierarchy(8, 1, 2)
+	h.Access(0)
+	h.Access(0)
+	// One memory access (compulsory), one L1 hit.
+	amat := h.AMAT(1, 10, 100)
+	if amat != (100+1)/2.0 {
+		t.Errorf("AMAT %v", amat)
+	}
+	if _, err := NewHierarchy(8, 4, 2); err == nil {
+		t.Error("L2 smaller than L1 accepted")
+	}
+	if _, err := NewHierarchy(8, 0, 2); err == nil {
+		t.Error("zero L1 accepted")
+	}
+}

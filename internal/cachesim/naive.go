@@ -1,0 +1,27 @@
+package cachesim
+
+// NaiveStack is a straightforward O(n·d) LRU stack used as the reference
+// implementation in tests: a slice ordered most-recently-used first. Its
+// results must match StackSim exactly on any trace.
+type NaiveStack struct {
+	stack []int64
+}
+
+// Access returns the stack distance of the access (1-based depth, InfSD for
+// a first touch) and updates the stack.
+func (n *NaiveStack) Access(addr int64) int64 {
+	for i, a := range n.stack {
+		if a == addr {
+			copy(n.stack[1:i+1], n.stack[0:i])
+			n.stack[0] = addr
+			return int64(i + 1)
+		}
+	}
+	n.stack = append(n.stack, 0)
+	copy(n.stack[1:], n.stack[0:len(n.stack)-1])
+	n.stack[0] = addr
+	return InfSD
+}
+
+// Depth returns the number of distinct addresses seen.
+func (n *NaiveStack) Depth() int { return len(n.stack) }

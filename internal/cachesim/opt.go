@@ -1,0 +1,75 @@
+package cachesim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// OptMisses computes the miss count of Belady's offline-optimal replacement
+// policy (evict the resident line whose next use is farthest in the future)
+// on a materialized trace. It bounds from below what any replacement policy
+// — including the LRU the paper models — can achieve, quantifying how much
+// of the miss count is intrinsic to the access pattern versus the policy.
+func OptMisses(addrs []int64, capacity int64) (int64, error) {
+	if capacity <= 0 {
+		return 0, fmt.Errorf("cachesim: non-positive capacity %d", capacity)
+	}
+	n := len(addrs)
+	// Pass 1: next-use index for every access (n = never used again).
+	nextUse := make([]int, n)
+	last := map[int64]int{}
+	for i := n - 1; i >= 0; i-- {
+		a := addrs[i]
+		if j, ok := last[a]; ok {
+			nextUse[i] = j
+		} else {
+			nextUse[i] = n
+		}
+		last[a] = i
+	}
+	// Pass 2: simulate with a lazy max-heap of (nextUse, addr).
+	resident := map[int64]int{} // addr -> its current next use
+	h := &optHeap{}
+	var misses int64
+	for i, a := range addrs {
+		if _, ok := resident[a]; ok {
+			resident[a] = nextUse[i]
+			heap.Push(h, optEntry{nextUse[i], a})
+			continue
+		}
+		misses++
+		if int64(len(resident)) == capacity {
+			// Evict the farthest-next-use resident; skip stale heap entries.
+			for {
+				e := heap.Pop(h).(optEntry)
+				cur, ok := resident[e.addr]
+				if ok && cur == e.next {
+					delete(resident, e.addr)
+					break
+				}
+			}
+		}
+		resident[a] = nextUse[i]
+		heap.Push(h, optEntry{nextUse[i], a})
+	}
+	return misses, nil
+}
+
+type optEntry struct {
+	next int
+	addr int64
+}
+
+type optHeap []optEntry
+
+func (h optHeap) Len() int            { return len(h) }
+func (h optHeap) Less(i, j int) bool  { return h[i].next > h[j].next } // max-heap
+func (h optHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *optHeap) Push(x interface{}) { *h = append(*h, x.(optEntry)) }
+func (h *optHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

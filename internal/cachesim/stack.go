@@ -1,0 +1,247 @@
+// Package cachesim provides exact cache simulation for element-granular
+// reference traces. It substitutes for the SimpleScalar sim-cache simulator
+// the paper validates against: StackSim computes the exact LRU stack
+// distance of every access in a fully-associative cache (one pass, O(log d)
+// per access), which simultaneously yields the miss count for every cache
+// capacity. Set-associative and direct-mapped simulators are provided for
+// sensitivity studies beyond the paper's fully-associative setting.
+//
+// Stack distance convention (matching the paper): the stack distance of an
+// access is the number of distinct addresses touched since the previous
+// access to the same address, *including the address itself* — i.e. the
+// 1-based LRU stack depth. A first touch has infinite distance. An access is
+// a miss in a fully-associative LRU cache of capacity C exactly when its
+// stack distance is greater than C.
+package cachesim
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// InfSD is the sentinel stack distance reported for first touches.
+const InfSD = int64(-1)
+
+// SiteStats accumulates per-reference-site simulation results.
+type SiteStats struct {
+	Accesses   int64
+	FirstTouch int64   // compulsory (infinite-distance) accesses
+	Misses     []int64 // per watched capacity, same order as Results.Watches
+}
+
+// Results summarizes a completed simulation.
+type Results struct {
+	Accesses int64
+	Distinct int64 // number of distinct addresses = compulsory misses
+	Watches  []int64
+	Misses   []int64 // total misses per watched capacity (incl. compulsory)
+	// Hist[b] counts accesses whose stack distance sd satisfies
+	// bits.Len(sd) == b, i.e. 2^(b-1) <= sd < 2^b. First touches are not in
+	// the histogram; they are counted by Distinct.
+	Hist [64]int64
+	// PerSite is indexed by the site id given to Access; sized by the
+	// nSites argument of NewStackSim.
+	PerSite []SiteStats
+}
+
+// MissRatio returns misses/accesses for the i-th watched capacity.
+func (r Results) MissRatio(i int) float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return float64(r.Misses[i]) / float64(r.Accesses)
+}
+
+// MissesAtLeast returns a lower bound on misses for capacity c derived from
+// the histogram alone (exact when c+1 is a power of two).
+func (r Results) MissesAtLeast(c int64) int64 {
+	total := r.Distinct
+	for b := 63; b >= 1; b-- {
+		if int64(1)<<uint(b-1) > c { // whole bucket has sd > c
+			total += r.Hist[b]
+		}
+	}
+	return total
+}
+
+// StackSim is the exact fully-associative LRU stack simulator.
+//
+// It tracks, for every address in a dense address space, the "slot" of its
+// most recent access on a virtual timeline. A Fenwick (binary indexed) tree
+// over slots supports counting how many addresses were touched more recently
+// than a given slot in O(log cap). The timeline is periodically compacted so
+// that memory stays proportional to the address-space size regardless of
+// trace length.
+type StackSim struct {
+	watches []int64
+	slotOf  []int64 // per address: current slot, 0 = never accessed
+	addrAt  []int64 // per slot: address occupying it, -1 = free
+	fen     []int64 // Fenwick tree over slots 1..cap
+	clock   int64   // next slot to assign
+	cap     int64
+	active  int64 // number of distinct addresses seen
+	res     Results
+	// OnSD, if non-nil, receives every access's site and stack distance
+	// (InfSD for first touches). Used by tests and model validation.
+	OnSD func(site int, sd int64)
+}
+
+// NewStackSim creates a simulator for a dense address space of the given
+// size (addresses 0..addrSpace-1), reporting per-site stats for site ids
+// 0..nSites-1 and exact miss counts for each watched capacity.
+func NewStackSim(addrSpace int64, nSites int, watches []int64) *StackSim {
+	if addrSpace <= 0 {
+		panic("cachesim: non-positive address space")
+	}
+	w := append([]int64(nil), watches...)
+	capSlots := 2*addrSpace + 2
+	s := &StackSim{
+		watches: w,
+		slotOf:  make([]int64, addrSpace),
+		addrAt:  make([]int64, capSlots+1),
+		fen:     make([]int64, capSlots+1),
+		clock:   1,
+		cap:     capSlots,
+	}
+	for i := range s.addrAt {
+		s.addrAt[i] = -1
+	}
+	s.res.Watches = w
+	s.res.Misses = make([]int64, len(w))
+	s.res.PerSite = make([]SiteStats, nSites)
+	for i := range s.res.PerSite {
+		s.res.PerSite[i].Misses = make([]int64, len(w))
+	}
+	return s
+}
+
+func (s *StackSim) fenAdd(i, delta int64) {
+	for ; i <= s.cap; i += i & (-i) {
+		s.fen[i] += delta
+	}
+}
+
+func (s *StackSim) fenPrefix(i int64) int64 {
+	var sum int64
+	for ; i > 0; i -= i & (-i) {
+		sum += s.fen[i]
+	}
+	return sum
+}
+
+// Access processes one reference. site indexes the per-site stats; pass 0
+// if per-site stats are not needed.
+func (s *StackSim) Access(site int, addr int64) {
+	s.res.Accesses++
+	st := &s.res.PerSite[site]
+	st.Accesses++
+
+	old := s.slotOf[addr]
+	var sd int64
+	if old == 0 {
+		sd = InfSD
+		s.active++
+		s.res.Distinct++
+		st.FirstTouch++
+	} else {
+		// Distinct addresses accessed strictly after old, plus the address
+		// itself.
+		sd = s.active - s.fenPrefix(old) + 1
+		s.fenAdd(old, -1)
+		s.addrAt[old] = -1
+		b := bits.Len64(uint64(sd))
+		s.res.Hist[b]++
+	}
+	for i, c := range s.watches {
+		if sd == InfSD || sd > c {
+			s.res.Misses[i]++
+			st.Misses[i]++
+		}
+	}
+	if s.OnSD != nil {
+		s.OnSD(site, sd)
+	}
+
+	if s.clock > s.cap {
+		s.compact()
+	}
+	s.slotOf[addr] = s.clock
+	s.addrAt[s.clock] = addr
+	s.fenAdd(s.clock, 1)
+	s.clock++
+}
+
+// compact renumbers active slots to 1..active, preserving order, and
+// rebuilds the Fenwick tree. Runs O(cap) but only once per ~addrSpace
+// accesses, so the amortized cost per access is O(1).
+func (s *StackSim) compact() {
+	next := int64(1)
+	for slot := int64(1); slot <= s.cap; slot++ {
+		addr := s.addrAt[slot]
+		s.addrAt[slot] = -1
+		s.fen[slot] = 0
+		if addr >= 0 && s.slotOf[addr] == slot {
+			s.slotOf[addr] = next
+			// addrAt for the new position is filled in the second pass
+			// below; next <= slot always holds so no overwrite hazard.
+			s.addrAt[next] = addr
+			next++
+		}
+	}
+	s.clock = next
+	for slot := int64(1); slot < next; slot++ {
+		s.fenAdd(slot, 1)
+	}
+}
+
+// Results returns the accumulated results. The simulator may continue to be
+// used afterwards; the returned struct is a snapshot.
+func (s *StackSim) Results() Results {
+	out := s.res
+	out.Watches = append([]int64(nil), s.res.Watches...)
+	out.Misses = append([]int64(nil), s.res.Misses...)
+	out.PerSite = make([]SiteStats, len(s.res.PerSite))
+	for i, ps := range s.res.PerSite {
+		out.PerSite[i] = SiteStats{
+			Accesses:   ps.Accesses,
+			FirstTouch: ps.FirstTouch,
+			Misses:     append([]int64(nil), ps.Misses...),
+		}
+	}
+	return out
+}
+
+// MissesFor returns the exact miss count for the watched capacity c.
+func (r Results) MissesFor(c int64) (int64, error) {
+	for i, w := range r.Watches {
+		if w == c {
+			return r.Misses[i], nil
+		}
+	}
+	return 0, fmt.Errorf("cachesim: capacity %d was not watched (watches: %v)", c, r.Watches)
+}
+
+// SDHistogramString renders the non-empty histogram buckets, for reports.
+func (r Results) SDHistogramString() string {
+	out := ""
+	for b := 1; b < 64; b++ {
+		if r.Hist[b] == 0 {
+			continue
+		}
+		lo := int64(1) << uint(b-1)
+		hi := int64(1)<<uint(b) - 1
+		out += fmt.Sprintf("  sd %8d..%-8d : %d\n", lo, hi, r.Hist[b])
+	}
+	out += fmt.Sprintf("  sd        inf       : %d\n", r.Distinct)
+	return out
+}
+
+// CapacitiesCrossed returns, from the histogram, the smallest watched
+// capacity whose miss count differs from the largest watched capacity's, a
+// convenience for sanity checks in reports.
+func (r Results) CapacitiesCrossed() []int64 {
+	sorted := append([]int64(nil), r.Watches...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted
+}

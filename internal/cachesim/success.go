@@ -1,0 +1,96 @@
+package cachesim
+
+import "sort"
+
+// SuccessFunction is Mattson's success function: the exact number of misses
+// as a function of cache capacity, recoverable for every capacity at once
+// from a single simulation pass. Enable collection with
+// StackSim.CollectExact; the map holds the exact count of accesses at each
+// stack-distance value.
+type SuccessFunction struct {
+	// Counts[sd] = number of accesses with that exact stack distance.
+	Counts map[int64]int64
+	// Compulsory is the number of first touches (infinite distance).
+	Compulsory int64
+	Accesses   int64
+}
+
+// CollectExact attaches an exact stack-distance counter to the simulator.
+// Memory grows with the number of distinct stack-distance values (bounded
+// by the number of distinct addresses). Call before the first Access.
+func (s *StackSim) CollectExact() *SuccessFunction {
+	sf := &SuccessFunction{Counts: map[int64]int64{}}
+	prev := s.OnSD
+	s.OnSD = func(site int, sd int64) {
+		sf.Accesses++
+		if sd == InfSD {
+			sf.Compulsory++
+		} else {
+			sf.Counts[sd]++
+		}
+		if prev != nil {
+			prev(site, sd)
+		}
+	}
+	return sf
+}
+
+// MissesFor returns the exact miss count for any capacity: misses are the
+// accesses whose stack distance exceeds the capacity, plus first touches.
+func (sf *SuccessFunction) MissesFor(capacity int64) int64 {
+	total := sf.Compulsory
+	for sd, n := range sf.Counts {
+		if sd > capacity {
+			total += n
+		}
+	}
+	return total
+}
+
+// Knees returns the capacities at which the miss count changes: the sorted
+// distinct stack-distance values. A cache one element smaller than a knee
+// misses every access counted at that knee. These are exactly the tile-size
+// phase transitions §6 of the paper builds its search on.
+func (sf *SuccessFunction) Knees() []int64 {
+	out := make([]int64, 0, len(sf.Counts))
+	for sd := range sf.Counts {
+		out = append(out, sd)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MissCurve evaluates the success function at the given capacities,
+// returning one miss count per capacity.
+func (sf *SuccessFunction) MissCurve(capacities []int64) []int64 {
+	// Sort (sd, count) descending once, then sweep capacities ascending.
+	type kv struct {
+		sd, n int64
+	}
+	pairs := make([]kv, 0, len(sf.Counts))
+	for sd, n := range sf.Counts {
+		pairs = append(pairs, kv{sd, n})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].sd < pairs[j].sd })
+	idx := make([]int, len(capacities))
+	for i := range capacities {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return capacities[idx[a]] < capacities[idx[b]] })
+
+	out := make([]int64, len(capacities))
+	var above int64
+	for _, p := range pairs {
+		above += p.n
+	}
+	pi := 0
+	for _, i := range idx {
+		c := capacities[i]
+		for pi < len(pairs) && pairs[pi].sd <= c {
+			above -= pairs[pi].n
+			pi++
+		}
+		out[i] = sf.Compulsory + above
+	}
+	return out
+}

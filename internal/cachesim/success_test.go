@@ -1,0 +1,79 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSuccessFunctionMatchesWatches(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	watches := []int64{1, 3, 7, 15, 40, 100}
+	sim := NewStackSim(128, 1, watches)
+	sf := sim.CollectExact()
+	for i := 0; i < 50000; i++ {
+		sim.Access(0, int64(r.Intn(128)))
+	}
+	res := sim.Results()
+	for i, c := range watches {
+		if got := sf.MissesFor(c); got != res.Misses[i] {
+			t.Errorf("capacity %d: success function %d vs watch %d", c, got, res.Misses[i])
+		}
+	}
+	curve := sf.MissCurve(watches)
+	for i := range watches {
+		if curve[i] != res.Misses[i] {
+			t.Errorf("curve[%d]=%d vs watch %d", i, curve[i], res.Misses[i])
+		}
+	}
+	if sf.Accesses != res.Accesses || sf.Compulsory != res.Distinct {
+		t.Errorf("totals %d/%d vs %d/%d", sf.Accesses, sf.Compulsory, res.Accesses, res.Distinct)
+	}
+}
+
+func TestSuccessFunctionKnees(t *testing.T) {
+	sim := NewStackSim(16, 1, nil)
+	sf := sim.CollectExact()
+	// Trace a b a b: sds inf inf 2 2.
+	for _, a := range []int64{0, 1, 0, 1} {
+		sim.Access(0, a)
+	}
+	knees := sf.Knees()
+	if len(knees) != 1 || knees[0] != 2 {
+		t.Fatalf("knees %v", knees)
+	}
+	if sf.MissesFor(1) != 4 || sf.MissesFor(2) != 2 {
+		t.Fatalf("misses: %d, %d", sf.MissesFor(1), sf.MissesFor(2))
+	}
+}
+
+func TestSuccessFunctionChainedHook(t *testing.T) {
+	sim := NewStackSim(8, 1, nil)
+	var seen int
+	sim.OnSD = func(_ int, _ int64) { seen++ }
+	sf := sim.CollectExact()
+	for i := 0; i < 10; i++ {
+		sim.Access(0, int64(i%4))
+	}
+	if seen != 10 {
+		t.Errorf("previous hook called %d times, want 10", seen)
+	}
+	if sf.Accesses != 10 {
+		t.Errorf("success function saw %d accesses", sf.Accesses)
+	}
+}
+
+func TestMissCurveUnsortedCapacities(t *testing.T) {
+	sim := NewStackSim(32, 1, nil)
+	sf := sim.CollectExact()
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		sim.Access(0, int64(r.Intn(32)))
+	}
+	caps := []int64{50, 2, 17, 9}
+	curve := sf.MissCurve(caps)
+	for i, c := range caps {
+		if curve[i] != sf.MissesFor(c) {
+			t.Errorf("curve[%d] (cap %d) = %d, want %d", i, c, curve[i], sf.MissesFor(c))
+		}
+	}
+}

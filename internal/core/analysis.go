@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/loopir"
+)
+
+// Analysis is the compile-time cache model of a nest: the full component
+// inventory of every reference site. It is env-independent; evaluate it
+// against concrete loop bounds, tile sizes and cache capacities with
+// PredictMisses.
+type Analysis struct {
+	Nest       *loopir.Nest
+	Components []*Component
+
+	sc *spanCoster
+}
+
+// Options toggles the model's span-cost refinements, for ablation studies.
+// The zero value disables everything; DefaultOptions enables the full
+// model, which Analyze uses.
+type Options struct {
+	// CarrierCorrection enables the boundary-crossing correction for
+	// self-reuse spans: subscript dimensions naming the carrier loop take
+	// values from two adjacent carrier iterations (staircase/doubling
+	// rules). Without it, a span is costed as one carrier-body iteration
+	// with the carrier frozen.
+	CarrierCorrection bool
+	// ComplementRule enables the exact-union rule for the reused array in
+	// cross-statement spans: the source suffix and target prefix jointly
+	// sweep the array in full. Without it, the two partial boxes are
+	// summed, over-counting by up to the array's footprint.
+	ComplementRule bool
+	// TailToHeadWrap refines self-reuse carried by a loop L when the last
+	// access to the array within L's body belongs to a different statement
+	// than the target: the span then runs from that statement's suffix in
+	// the previous iteration to the target's prefix in the current one
+	// (the geometry the paper's Fig. 3 source selection implies), instead
+	// of being costed as one complete body iteration.
+	TailToHeadWrap bool
+}
+
+// DefaultOptions is the full model: all refinements enabled.
+func DefaultOptions() Options {
+	return Options{CarrierCorrection: true, ComplementRule: true, TailToHeadWrap: true}
+}
+
+// Analyze partitions every reference of the nest and computes symbolic
+// stack distances with the full model. It rejects programs outside the
+// supported class.
+func Analyze(nest *loopir.Nest) (*Analysis, error) {
+	return AnalyzeWithOptions(nest, DefaultOptions())
+}
+
+// AnalyzeWithOptions is Analyze with explicit model refinements, for
+// ablation experiments.
+func AnalyzeWithOptions(nest *loopir.Nest, opts Options) (*Analysis, error) {
+	if err := checkClass(nest); err != nil {
+		return nil, err
+	}
+	a := &Analysis{Nest: nest, sc: newSpanCoster(nest, opts)}
+	for _, site := range nest.Sites() {
+		comps, err := a.partition(site)
+		if err != nil {
+			return nil, err
+		}
+		a.Components = append(a.Components, comps...)
+	}
+	return a, nil
+}
+
+// checkClass validates the paper's class constraints beyond what loopir
+// already enforces: at most one reference per array per statement (so "the
+// previous access to the same element" is unambiguous at statement
+// granularity).
+func checkClass(nest *loopir.Nest) error {
+	for _, s := range nest.Stmts() {
+		seen := map[string]bool{}
+		for _, r := range s.Refs {
+			if seen[r.Array] {
+				return fmt.Errorf("core: statement %s references array %s more than once (outside the supported class)", s.Label, r.Array)
+			}
+			seen[r.Array] = true
+		}
+	}
+	return nil
+}
+
+// ComponentsFor returns the components of one reference site.
+func (a *Analysis) ComponentsFor(siteKey string) []*Component {
+	var out []*Component
+	for _, c := range a.Components {
+		if c.Site.Key() == siteKey {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ComponentMisses records the evaluation of one component at a concrete
+// environment and cache capacity.
+type ComponentMisses struct {
+	Component *Component
+	Count     int64
+	SDMin     int64 // -1 means infinite
+	SDMax     int64 // -1 means infinite
+	Misses    int64
+}
+
+// MissReport is the result of PredictMisses.
+type MissReport struct {
+	CacheElems int64
+	Accesses   int64
+	Total      int64
+	BySite     map[string]int64
+	Detail     []ComponentMisses
+}
+
+// PredictMisses evaluates the analysis at concrete loop bounds and tile
+// sizes and predicts the number of misses in a fully-associative LRU cache
+// with the given capacity in elements. A component misses when its stack
+// distance exceeds the capacity; components with position-dependent stack
+// distance (§5.2) contribute the exact number of positions whose distance
+// exceeds it.
+func (a *Analysis) PredictMisses(env expr.Env, cacheElems int64) (*MissReport, error) {
+	if err := a.Nest.ValidateEnv(env); err != nil {
+		return nil, err
+	}
+	rep := &MissReport{CacheElems: cacheElems, BySite: map[string]int64{}}
+	for _, c := range a.Components {
+		cm, err := evalComponent(c, env, cacheElems)
+		if err != nil {
+			return nil, err
+		}
+		rep.Detail = append(rep.Detail, cm)
+		rep.Total += cm.Misses
+		rep.BySite[c.Site.Key()] += cm.Misses
+		rep.Accesses += cm.Count
+	}
+	return rep, nil
+}
+
+func evalComponent(c *Component, env expr.Env, cache int64) (ComponentMisses, error) {
+	cm := ComponentMisses{Component: c}
+	count, err := c.Count.Eval(env)
+	if err != nil {
+		return cm, err
+	}
+	if count < 0 {
+		count = 0 // e.g. (trip-1) when a loop has a single iteration
+	}
+	cm.Count = count
+	if c.SD.Base.IsInf() {
+		cm.SDMin, cm.SDMax = -1, -1
+		cm.Misses = count
+		return cm, nil
+	}
+	if c.SD.IsConst() {
+		sd, err := c.SD.Base.Eval(env)
+		if err != nil {
+			return cm, err
+		}
+		cm.SDMin, cm.SDMax = sd, sd
+		if sd > cache {
+			cm.Misses = count
+		}
+		return cm, nil
+	}
+	// Variable stack distance: SD(a) = base + slope*a for a in [0, range).
+	base, err := c.SD.Base.Eval(env)
+	if err != nil {
+		return cm, err
+	}
+	slope, err := c.SD.Slope.Eval(env)
+	if err != nil {
+		return cm, err
+	}
+	rng, err := c.FreeRange.Eval(env)
+	if err != nil {
+		return cm, err
+	}
+	if rng <= 0 {
+		return cm, fmt.Errorf("core: non-positive free range for %s", c.Site.Key())
+	}
+	lo, hi := base, base+slope*(rng-1)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	cm.SDMin, cm.SDMax = lo, hi
+	var missPositions int64
+	switch {
+	case lo > cache:
+		missPositions = rng
+	case hi <= cache:
+		missPositions = 0
+	case slope > 0:
+		// positions a with base + slope*a > cache  <=>  a > (cache-base)/slope
+		firstHitUpTo := (cache - base) / slope // last a that still hits
+		missPositions = rng - 1 - firstHitUpTo
+		if missPositions < 0 {
+			missPositions = 0
+		}
+	case slope < 0:
+		// misses at the low-a end: base + slope*a > cache <=> a < (base-cache)/(-slope)
+		m := (base - cache + (-slope) - 1) / (-slope)
+		missPositions = m
+		if missPositions > rng {
+			missPositions = rng
+		}
+	}
+	// count is divisible by rng (the free loop's trip is one of its
+	// factors); each position contributes count/rng instances.
+	cm.Misses = count / rng * missPositions
+	return cm, nil
+}
+
+// MissCurve evaluates the predicted miss count at each capacity, reusing
+// one pass of component evaluation per capacity. The curve is the model's
+// counterpart of the simulator's success function.
+func (a *Analysis) MissCurve(env expr.Env, capacities []int64) ([]int64, error) {
+	out := make([]int64, len(capacities))
+	for i, c := range capacities {
+		total, err := a.PredictTotal(env, c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = total
+	}
+	return out, nil
+}
+
+// PredictTotal is a convenience wrapper returning only the total.
+func (a *Analysis) PredictTotal(env expr.Env, cacheElems int64) (int64, error) {
+	rep, err := a.PredictMisses(env, cacheElems)
+	if err != nil {
+		return 0, err
+	}
+	return rep.Total, nil
+}
+
+// StackDistances returns every distinct symbolic stack-distance expression
+// of the analysis (excluding first touches), optionally filtering out those
+// that mention any of the given symbols (the paper's "expressions which do
+// not involve loop bounds" mode for unknown-bound tile search).
+func (a *Analysis) StackDistances(exclude map[string]bool) []LinForm {
+	var out []LinForm
+	seen := map[string]bool{}
+	for _, c := range a.Components {
+		if c.SD.Base.IsInf() {
+			continue
+		}
+		if exclude != nil {
+			if c.SD.Base.HasAnyVar(exclude) {
+				continue
+			}
+			if c.SD.Slope != nil && c.SD.Slope.HasAnyVar(exclude) {
+				continue
+			}
+		}
+		key := c.SD.String()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, c.SD)
+		}
+	}
+	return out
+}
+
+// Table renders the component inventory in the style of the paper's
+// Table 1: one row per component with its pattern, instance count and stack
+// distance.
+func (a *Analysis) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Component inventory for %s\n", a.Nest.Name)
+	byRef := map[string][]*Component{}
+	var order []string
+	for _, c := range a.Components {
+		k := c.Site.Key()
+		if len(byRef[k]) == 0 {
+			order = append(order, k)
+		}
+		byRef[k] = append(byRef[k], c)
+	}
+	sort.Strings(order)
+	for _, k := range order {
+		comps := byRef[k]
+		fmt.Fprintf(&b, "%s %s\n", k, comps[0].Site.Ref())
+		for _, c := range comps {
+			sd := c.SD.String()
+			if c.SD.Base.IsInf() {
+				sd = "inf"
+			}
+			mark := ""
+			if !c.Exact {
+				mark = " ~"
+			}
+			fmt.Fprintf(&b, "  %-12s %-28s #refs = %-28s SD = %s%s\n", c.Kind, c.Pattern, c.Count, sd, mark)
+			if len(c.Breakdown) > 0 {
+				parts := make([]string, len(c.Breakdown))
+				for i, bc := range c.Breakdown {
+					parts[i] = bc.Array + ": " + bc.Size.String()
+				}
+				fmt.Fprintf(&b, "               per-array: %s\n", strings.Join(parts, ", "))
+			}
+		}
+	}
+	return b.String()
+}
+
+// SummaryBySite returns, for each site, the total symbolic instance count —
+// a consistency check against the trip-count product.
+func (a *Analysis) SummaryBySite() map[string]*expr.Expr {
+	out := map[string]*expr.Expr{}
+	for _, c := range a.Components {
+		k := c.Site.Key()
+		if out[k] == nil {
+			out[k] = expr.Zero()
+		}
+		out[k] = expr.Add(out[k], c.Count)
+	}
+	return out
+}

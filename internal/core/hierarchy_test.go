@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/expr"
+	"repro/internal/trace"
+)
+
+func TestPredictHierarchyAgainstSimulator(t *testing.T) {
+	nest := matmulNest(t)
+	a, err := Analyze(nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const N = 20
+	env := expr.Env{"N": N}
+	const capL1, capL2 = 43, 461 // the matmul SD regime boundaries
+
+	pred, err := a.PredictHierarchy(env, capL1, capL2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := trace.Compile(nest, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := cachesim.NewHierarchy(p.Size, capL1, capL2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(func(_ int, addr int64) { h.Access(addr) })
+
+	if pred.Accesses != h.Accesses() {
+		t.Fatalf("accesses %d vs %d", pred.Accesses, h.Accesses())
+	}
+	tol := int64(3 * N * N)
+	check := func(name string, got, want int64) {
+		d := got - want
+		if d < 0 {
+			d = -d
+		}
+		if d > tol+want/20 {
+			t.Errorf("%s: predicted %d vs simulated %d", name, got, want)
+		}
+	}
+	check("L1 hits", pred.L1Hits, h.L1Hits)
+	check("L2 hits", pred.L2Hits, h.L2Hits)
+	check("memory", pred.MemAccesses, h.MemAccesses)
+
+	// Conservation.
+	if pred.L1Hits+pred.L2Hits+pred.MemAccesses != pred.Accesses {
+		t.Error("hierarchy report does not conserve accesses")
+	}
+	// AMAT sanity: between costL1 and costMem.
+	amat := pred.AMAT(1, 10, 200)
+	if amat < 1 || amat > 200 {
+		t.Errorf("AMAT %v out of range", amat)
+	}
+}
+
+func TestPredictHierarchyErrors(t *testing.T) {
+	nest := matmulNest(t)
+	a, err := Analyze(nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.PredictHierarchy(expr.Env{"N": 4}, 8, 4); err == nil {
+		t.Error("L2 < L1 accepted")
+	}
+	if _, err := a.PredictHierarchy(expr.Env{"N": 4}, 0, 4); err == nil {
+		t.Error("zero L1 accepted")
+	}
+	empty := &HierarchyReport{}
+	if empty.AMAT(1, 2, 3) != 0 {
+		t.Error("empty AMAT should be 0")
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"encoding/json"
+
+	"repro/internal/expr"
+)
+
+// ComponentJSON is the serializable form of a Component: symbolic fields
+// are rendered as canonical expression strings.
+type ComponentJSON struct {
+	Site      string `json:"site"`
+	Array     string `json:"array"`
+	Kind      string `json:"kind"`
+	Carrier   string `json:"carrier,omitempty"`
+	Source    string `json:"source,omitempty"`
+	Pattern   string `json:"pattern"`
+	Count     string `json:"count"`
+	SD        string `json:"sd"`
+	SDSlope   string `json:"sdSlope,omitempty"`
+	FreeVar   string `json:"freeVar,omitempty"`
+	FreeRange string `json:"freeRange,omitempty"`
+	Exact     bool   `json:"exact"`
+	// Breakdown itemizes the stack distance per array (Table 1 style).
+	Breakdown map[string]string `json:"breakdown,omitempty"`
+}
+
+// ReportJSON is the serializable evaluation of an analysis.
+type ReportJSON struct {
+	Nest       string                `json:"nest"`
+	Env        map[string]int64      `json:"env"`
+	CacheElems int64                 `json:"cacheElems"`
+	Accesses   int64                 `json:"accesses"`
+	Misses     int64                 `json:"misses"`
+	BySite     map[string]int64      `json:"bySite"`
+	Components []ComponentMissesJSON `json:"components"`
+}
+
+// ComponentMissesJSON pairs a component with its concrete evaluation.
+type ComponentMissesJSON struct {
+	ComponentJSON
+	CountValue int64 `json:"countValue"`
+	SDMin      int64 `json:"sdMin"` // -1 = infinite
+	SDMax      int64 `json:"sdMax"`
+	MissValue  int64 `json:"missValue"`
+}
+
+func componentJSON(c *Component) ComponentJSON {
+	out := ComponentJSON{
+		Site:    c.Site.Key(),
+		Array:   c.Site.Ref().Array,
+		Kind:    c.Kind.String(),
+		Pattern: c.Pattern,
+		Count:   c.Count.String(),
+		Exact:   c.Exact,
+	}
+	if c.SD.Base.IsInf() {
+		out.SD = "inf"
+	} else {
+		out.SD = c.SD.Base.String()
+	}
+	if c.SD.Slope != nil && !c.SD.Slope.IsZero() {
+		out.SDSlope = c.SD.Slope.String()
+		out.FreeVar = c.FreeVar
+		out.FreeRange = c.FreeRange.String()
+	}
+	if c.Carrier != nil {
+		out.Carrier = c.Carrier.Index
+	}
+	if c.Source.Stmt != nil {
+		out.Source = c.Source.Key()
+	}
+	if len(c.Breakdown) > 0 {
+		out.Breakdown = map[string]string{}
+		for _, bc := range c.Breakdown {
+			out.Breakdown[bc.Array] = bc.Size.String()
+		}
+	}
+	return out
+}
+
+// InventoryJSON serializes the symbolic component inventory.
+func (a *Analysis) InventoryJSON() ([]byte, error) {
+	out := make([]ComponentJSON, len(a.Components))
+	for i, c := range a.Components {
+		out[i] = componentJSON(c)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// ReportToJSON serializes a concrete miss report together with its
+// component-level detail.
+func (a *Analysis) ReportToJSON(env expr.Env, rep *MissReport) ([]byte, error) {
+	r := ReportJSON{
+		Nest:       a.Nest.Name,
+		Env:        map[string]int64(env),
+		CacheElems: rep.CacheElems,
+		Accesses:   rep.Accesses,
+		Misses:     rep.Total,
+		BySite:     rep.BySite,
+	}
+	for _, d := range rep.Detail {
+		r.Components = append(r.Components, ComponentMissesJSON{
+			ComponentJSON: componentJSON(d.Component),
+			CountValue:    d.Count,
+			SDMin:         d.SDMin,
+			SDMax:         d.SDMax,
+			MissValue:     d.Misses,
+		})
+	}
+	return json.MarshalIndent(r, "", "  ")
+}

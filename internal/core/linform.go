@@ -1,0 +1,107 @@
+// Package core implements the paper's contribution: compile-time
+// characterization of cache misses for imperfectly nested loops via symbolic
+// stack distances.
+//
+// The analysis proceeds in two phases, mirroring §5 of the paper:
+//
+//  1. Partitioning (partition.go): the instances of every static array
+//     reference are split into components such that all instances of a
+//     component have the same incoming reuse dependence — first touch,
+//     self-reuse carried by a specific enclosing loop, or cross-statement
+//     reuse from an earlier statement.
+//
+//  2. Stack-distance computation (span.go): for each component, the number
+//     of distinct elements of every array accessed over the reuse span is
+//     computed symbolically; their sum is the component's stack distance.
+//     Cross-statement components may have a stack distance that varies
+//     linearly with the position of the target instance (§5.2); these are
+//     represented as linear forms and resolved by the miss estimator.
+//
+// Misses for a fully-associative LRU cache of capacity C are then the total
+// instance count of components whose stack distance exceeds C (misses.go).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// LinForm is a symbolic quantity Base + Slope·a in one free position
+// variable a (the value of the component's distinguished appearing loop
+// index). Slope == nil means the quantity is constant.
+type LinForm struct {
+	Base  *expr.Expr
+	Slope *expr.Expr
+}
+
+// LFConst wraps a constant (a-free) expression.
+func LFConst(e *expr.Expr) LinForm { return LinForm{Base: e} }
+
+// IsConst reports whether the form has no dependence on the free variable.
+func (f LinForm) IsConst() bool { return f.Slope == nil || f.Slope.IsZero() }
+
+// Add returns f + g.
+func (f LinForm) Add(g LinForm) LinForm {
+	out := LinForm{Base: expr.Add(f.Base, g.Base)}
+	switch {
+	case f.IsConst() && g.IsConst():
+	case f.IsConst():
+		out.Slope = g.Slope
+	case g.IsConst():
+		out.Slope = f.Slope
+	default:
+		out.Slope = expr.Add(f.Slope, g.Slope)
+	}
+	return out
+}
+
+// MulConst returns f scaled by an a-free expression.
+func (f LinForm) MulConst(e *expr.Expr) LinForm {
+	out := LinForm{Base: expr.Mul(f.Base, e)}
+	if !f.IsConst() {
+		out.Slope = expr.Mul(f.Slope, e)
+	}
+	return out
+}
+
+// Mul multiplies two linear forms. The model only ever multiplies forms of
+// which at most one is non-constant (a reference has at most one subscript
+// dimension containing the distinguished loop); if both are linear the
+// product would be quadratic, and we conservatively keep the dominant linear
+// structure (base product, combined slope) and report inexactness.
+func (f LinForm) Mul(g LinForm) (LinForm, bool) {
+	if f.IsConst() {
+		return g.MulConst(f.Base), true
+	}
+	if g.IsConst() {
+		return f.MulConst(g.Base), true
+	}
+	return LinForm{
+		Base:  expr.Mul(f.Base, g.Base),
+		Slope: expr.Add(expr.Mul(f.Slope, g.Base), expr.Mul(g.Slope, f.Base)),
+	}, false
+}
+
+// Eval evaluates the form at a concrete free-variable value.
+func (f LinForm) Eval(env expr.Env, a int64) (int64, error) {
+	b, err := f.Base.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	if f.IsConst() {
+		return b, nil
+	}
+	s, err := f.Slope.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	return b + s*a, nil
+}
+
+func (f LinForm) String() string {
+	if f.IsConst() {
+		return f.Base.String()
+	}
+	return fmt.Sprintf("%s + a*(%s)", f.Base, f.Slope)
+}

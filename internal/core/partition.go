@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/loopir"
+)
+
+// ComponentKind classifies the incoming reuse dependence shared by all
+// reference instances of a component.
+type ComponentKind int
+
+const (
+	// FirstTouch instances have no incoming dependence: infinite stack
+	// distance, compulsory misses.
+	FirstTouch ComponentKind = iota
+	// SelfCarried instances reuse data accessed one iteration earlier of a
+	// specific enclosing loop (the Carrier), all deeper non-appearing loops
+	// being at their first iteration.
+	SelfCarried
+	// CrossStmt instances reuse data last touched by an earlier statement
+	// under a common enclosing loop (the paper's imperfectly-nested case).
+	CrossStmt
+)
+
+func (k ComponentKind) String() string {
+	switch k {
+	case FirstTouch:
+		return "first-touch"
+	case SelfCarried:
+		return "self"
+	case CrossStmt:
+		return "cross"
+	}
+	return "invalid"
+}
+
+// Component is one partition of a reference's instances, with its symbolic
+// instance count and stack distance.
+type Component struct {
+	Site    loopir.RefSite
+	Kind    ComponentKind
+	Carrier *loopir.Loop   // SelfCarried: the loop whose step carries reuse
+	Source  loopir.RefSite // CrossStmt: the source reference
+
+	// Count is the number of reference instances in this component.
+	Count *expr.Expr
+	// SD is the stack distance: Base + Slope·a where a ranges over
+	// [0, FreeRange). Constant components have SD.Slope == nil. FirstTouch
+	// components have SD.Base == expr.Inf().
+	SD        LinForm
+	FreeVar   string     // name of the loop index the free variable tracks
+	FreeRange *expr.Expr // trip count of that loop; nil if SD constant
+
+	// Pattern is a human-readable source→target iteration-vector sketch in
+	// the style of the paper's Table 1.
+	Pattern string
+	// Exact is false when the span cost used a documented over-
+	// approximation (non-nested overlapping boxes summed, or a quadratic
+	// free-variable product linearized).
+	Exact bool
+	// Breakdown itemizes the stack distance by array, in the style of the
+	// paper's Table 1 ("A: 2, B: Tk, C: Tk"). Empty for first touches.
+	Breakdown []ArrayCost
+}
+
+func (c *Component) String() string {
+	sd := c.SD.String()
+	if c.SD.Base.IsInf() {
+		sd = "inf"
+	}
+	return fmt.Sprintf("%s %s %s  count=%s  sd=%s", c.Site.Key(), c.Kind, c.Pattern, c.Count, sd)
+}
+
+// partition enumerates the components of reference site R, walking from the
+// statement up the loop tree exactly as the paper's Fig. 3 algorithm does:
+// at each level, reuse comes from the nearest preceding sibling subtree
+// referencing the array if one exists (cross-statement, terminal); otherwise
+// a non-appearing parent loop carries self-reuse and the walk continues with
+// that loop pinned to its first iteration.
+func (a *Analysis) partition(site loopir.RefSite) ([]*Component, error) {
+	nest := a.Nest
+	ref := site.Ref()
+	array := ref.Array
+	appears := map[string]bool{}
+	for _, sub := range ref.Subs {
+		for _, t := range sub.Terms {
+			appears[t.Index] = true
+		}
+	}
+	encl := nest.Enclosing(site.Stmt)
+
+	// countWith computes the instance count given the pinned set and an
+	// optional carrier (which contributes trip-1 instead of trip).
+	countWith := func(pinned map[string]bool, carrier *loopir.Loop) *expr.Expr {
+		cnt := expr.One()
+		for _, l := range encl {
+			switch {
+			case carrier != nil && l == carrier:
+				cnt = expr.Mul(cnt, expr.Sub(l.Trip, expr.One()))
+			case pinned[l.Index]:
+				// contributes a single iteration
+			default:
+				cnt = expr.Mul(cnt, l.Trip)
+			}
+		}
+		return cnt
+	}
+
+	var comps []*Component
+	pinned := map[string]bool{} // non-appearing loops pinned at iteration 0
+	var node loopir.Node = site.Stmt
+
+	for {
+		parent := nest.Parent(node)
+		siblings := a.siblingsOf(node, parent)
+		// Nearest preceding sibling whose subtree references the array.
+		pIdx := -1
+		self := a.indexOf(siblings, node)
+		for i := self - 1; i >= 0; i-- {
+			if a.sc.arrayIn(siblings[i], array) {
+				pIdx = i
+				break
+			}
+		}
+		if pIdx >= 0 {
+			P := siblings[pIdx]
+			src, ok := a.sc.lastSiteFor(P, array)
+			if !ok {
+				return nil, fmt.Errorf("core: internal error: no %s site in source branch", array)
+			}
+			comp, err := a.crossComponent(site, src, P, node, siblings[pIdx+1:self], pinned, countWith(pinned, nil))
+			if err != nil {
+				return nil, err
+			}
+			comps = append(comps, comp)
+			return comps, nil
+		}
+		if parent == nil {
+			comps = append(comps, &Component{
+				Site:    site,
+				Kind:    FirstTouch,
+				Count:   countWith(pinned, nil),
+				SD:      LFConst(expr.Inf()),
+				Pattern: a.pattern(site, nil, pinned, "first"),
+				Exact:   true,
+			})
+			return comps, nil
+		}
+		if !appears[parent.Index] {
+			comp, err := a.selfComponent(site, parent, pinned, countWith(pinned, parent))
+			if err != nil {
+				return nil, err
+			}
+			comps = append(comps, comp)
+			pinned[parent.Index] = true
+		}
+		node = parent
+	}
+}
+
+// selfComponent builds the self-reuse component carried by loop `parent`.
+// The span is one complete body iteration of the carrier; with the
+// TailToHeadWrap option, when the most recent access to the array in the
+// previous iteration belongs to a different branch of the carrier's body,
+// the tighter tail-to-head span is used instead.
+func (a *Analysis) selfComponent(site loopir.RefSite, parent *loopir.Loop, pinned map[string]bool, count *expr.Expr) (*Component, error) {
+	array := site.Ref().Array
+	sd, exact, costs := a.sc.bodySpanCost(parent)
+	comp := &Component{
+		Site:      site,
+		Kind:      SelfCarried,
+		Carrier:   parent,
+		Count:     count,
+		SD:        sd,
+		Pattern:   a.pattern(site, parent, pinned, "step"),
+		Exact:     exact,
+		Breakdown: costs,
+	}
+	if a.sc.opts.TailToHeadWrap {
+		if src, ok := a.sc.lastSiteFor(parent, array); ok && src.Stmt != site.Stmt {
+			P := a.sc.childContaining(parent, src.Stmt)
+			X := a.sc.childContaining(parent, site.Stmt)
+			if P != nil && X != nil && P != X {
+				pinnedTgt := map[string]bool{}
+				for l := range pinned {
+					if a.sc.loopsIn[X][l] {
+						pinnedTgt[l] = true
+					}
+				}
+				piTgt := a.outermostAppearing(site, X, pinnedTgt)
+				var costs []ArrayCost
+				sd, exact, costs = a.sc.wrapSpanCost(src, P, site, X, parent, pinnedTgt, piTgt)
+				comp.Source = src
+				comp.SD = sd
+				comp.Exact = exact
+				comp.Breakdown = costs
+				comp.Pattern = a.pattern(site, parent, pinned, "step:"+src.Key())
+				if !sd.IsConst() {
+					if piTgt == "" {
+						return nil, fmt.Errorf("core: variable wrap SD without a distinguished loop for %s", site.Key())
+					}
+					comp.FreeVar = piTgt
+					comp.FreeRange = a.Nest.Loop(piTgt).Trip
+				}
+			}
+		}
+	}
+	return comp, nil
+}
+
+// crossComponent builds the cross-statement component for target tgt inside
+// branch X, source src inside branch P, with `between` branches executed in
+// full between them.
+func (a *Analysis) crossComponent(
+	tgt, src loopir.RefSite,
+	P, X loopir.Node,
+	between []loopir.Node,
+	pinnedTgt map[string]bool,
+	count *expr.Expr,
+) (*Component, error) {
+	nest := a.Nest
+	// Source-side pins: the source's non-appearing loops inside P sit at
+	// their final iteration (it is the last access in P).
+	srcAppears := map[string]bool{}
+	for _, sub := range src.Ref().Subs {
+		for _, t := range sub.Terms {
+			srcAppears[t.Index] = true
+		}
+	}
+	pinnedSrc := map[string]bool{}
+	for _, l := range nest.Enclosing(src.Stmt) {
+		if a.sc.loopsIn[P][l.Index] && !srcAppears[l.Index] {
+			pinnedSrc[l.Index] = true
+		}
+	}
+	// Distinguished appearing loops: outermost appearing inside each branch.
+	piTgt := a.outermostAppearing(tgt, X, pinnedTgt)
+	piSrc := a.outermostAppearing(src, P, pinnedSrc)
+
+	sd, exact, costs := a.sc.crossSpanCost(src, P, tgt, X, between, pinnedSrc, pinnedTgt, piSrc, piTgt)
+	comp := &Component{
+		Site:      tgt,
+		Kind:      CrossStmt,
+		Source:    src,
+		Count:     count,
+		SD:        sd,
+		Pattern:   a.pattern(tgt, nil, pinnedTgt, "cross:"+src.Key()),
+		Exact:     exact,
+		Breakdown: costs,
+	}
+	if !sd.IsConst() {
+		if piTgt == "" {
+			return nil, fmt.Errorf("core: variable SD without a distinguished loop for %s", tgt.Key())
+		}
+		comp.FreeVar = piTgt
+		comp.FreeRange = nest.Loop(piTgt).Trip
+	}
+	return comp, nil
+}
+
+// outermostAppearing returns the outermost loop inside branch B that appears
+// in the reference and is not pinned, or "".
+func (a *Analysis) outermostAppearing(site loopir.RefSite, B loopir.Node, pinned map[string]bool) string {
+	appears := map[string]bool{}
+	for _, sub := range site.Ref().Subs {
+		for _, t := range sub.Terms {
+			appears[t.Index] = true
+		}
+	}
+	for _, l := range a.Nest.Enclosing(site.Stmt) {
+		if a.sc.loopsIn[B][l.Index] && appears[l.Index] && !pinned[l.Index] {
+			return l.Index
+		}
+	}
+	return ""
+}
+
+// siblingsOf returns the ordered node list containing node: the parent's
+// body, or the nest root list.
+func (a *Analysis) siblingsOf(node loopir.Node, parent *loopir.Loop) []loopir.Node {
+	if parent == nil {
+		return a.Nest.Root
+	}
+	return parent.Body
+}
+
+func (a *Analysis) indexOf(list []loopir.Node, node loopir.Node) int {
+	for i, nd := range list {
+		if nd == node {
+			return i
+		}
+	}
+	return -1
+}
+
+// pattern renders an iteration-vector sketch for the component in the style
+// of the paper's Table 1: appearing indices as letters, the carrier as
+// "x→x+1", pinned non-appearing indices as 0, free non-appearing indices
+// as *.
+func (a *Analysis) pattern(site loopir.RefSite, carrier *loopir.Loop, pinned map[string]bool, tag string) string {
+	appears := map[string]bool{}
+	for _, sub := range site.Ref().Subs {
+		for _, t := range sub.Terms {
+			appears[t.Index] = true
+		}
+	}
+	letters := "abcdefgh"
+	li := 0
+	var parts []string
+	for _, l := range a.Nest.Enclosing(site.Stmt) {
+		switch {
+		case carrier != nil && l == carrier:
+			parts = append(parts, "x+1")
+		case appears[l.Index]:
+			if li < len(letters) {
+				parts = append(parts, string(letters[li]))
+				li++
+			} else {
+				parts = append(parts, "?")
+			}
+		case pinned[l.Index]:
+			parts = append(parts, "0")
+		default:
+			parts = append(parts, "*")
+		}
+	}
+	return "(" + strings.Join(parts, ",") + ") " + tag
+}

@@ -1,0 +1,670 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/loopir"
+)
+
+// A reuse span is the set of iterations executed between the source and the
+// target of a reuse. Its cost — the component's stack distance — is the
+// number of distinct array elements accessed within it, summed over all
+// arrays (§4 of the paper: "the cost of an array with respect to a reuse
+// [is] the number of distinct memory locations of that array accessed from
+// the source iteration vector to the target iteration vector").
+//
+// Spans are represented as a list of regions. A region is a subtree of the
+// loop tree together with a geometry describing which of its loops run
+// fully, which are pinned to a single iteration, and which run partially up
+// to (or from) the free position variable a:
+//
+//   - a full region covers every iteration of its subtree;
+//   - a prefix region covers the iterations up to the target instance
+//     (pinned loops at their first iteration, the distinguished loop π
+//     covering a+1 values);
+//   - a suffix region covers the iterations from the source instance to the
+//     end (pinned loops at their last iteration, π covering trip−a values).
+//
+// Self-reuse carried by loop L uses a single full region (L's body) with L
+// itself as the "carrier": subscript dimensions that mention L take values
+// from two adjacent iterations of L, contributing one extra distinct value
+// (or exactly 2 values when no deeper term shares the dimension). This is
+// the paper's "cost of one complete iteration of the m loop" with the
+// boundary-crossing correction visible in Table 1.
+
+type roleKind int
+
+const (
+	roleFull roleKind = iota
+	rolePinned
+	rolePi
+)
+
+type region struct {
+	node  loopir.Node
+	kind  regionKind
+	roles map[string]roleKind // loops inside node; absent = roleFull
+	// phase distinguishes the two carrier iterations a wrap span crosses:
+	// 0 = not a wrap region, 1 = previous iteration (tail), 2 = current
+	// iteration (head). Subscript terms naming the carrier are fixed at
+	// the phase's iteration, so same-shaped boxes from different phases
+	// denote different elements.
+	phase int
+}
+
+type regionKind int
+
+const (
+	regionFull regionKind = iota
+	regionPrefix
+	regionSuffix
+)
+
+// box is the set of elements of one array touched by one reference within
+// one region: a product of per-dimension value sets.
+type box struct {
+	array string
+	size  LinForm
+	sig   string       // dedupe signature
+	dims  []dimProfile // for containment checks
+}
+
+type dimProfile struct {
+	// entries maps loop index -> effective role in this dimension.
+	// roleFull dominates rolePi dominates rolePinned for containment.
+	entries map[string]roleKind
+	size    LinForm
+}
+
+// spanCoster computes box sets; it is owned by an Analysis.
+type spanCoster struct {
+	nest *loopir.Nest
+	opts Options
+	// subtree caches
+	loopsIn map[loopir.Node]map[string]bool
+	refsIn  map[loopir.Node][]loopir.RefSite
+}
+
+func newSpanCoster(nest *loopir.Nest, opts Options) *spanCoster {
+	sc := &spanCoster{
+		nest:    nest,
+		opts:    opts,
+		loopsIn: map[loopir.Node]map[string]bool{},
+		refsIn:  map[loopir.Node][]loopir.RefSite{},
+	}
+	var walk func(nd loopir.Node) (map[string]bool, []loopir.RefSite)
+	walk = func(nd loopir.Node) (map[string]bool, []loopir.RefSite) {
+		loops := map[string]bool{}
+		var refs []loopir.RefSite
+		switch v := nd.(type) {
+		case *loopir.Loop:
+			loops[v.Index] = true
+			for _, c := range v.Body {
+				cl, cr := walk(c)
+				for k := range cl {
+					loops[k] = true
+				}
+				refs = append(refs, cr...)
+			}
+		case *loopir.Stmt:
+			for i := range v.Refs {
+				refs = append(refs, loopir.RefSite{Stmt: v, RefIdx: i})
+			}
+		}
+		sc.loopsIn[nd] = loops
+		sc.refsIn[nd] = refs
+		return loops, refs
+	}
+	for _, nd := range nest.Root {
+		walk(nd)
+	}
+	return sc
+}
+
+// arraysIn reports whether the subtree references the array.
+func (sc *spanCoster) arrayIn(nd loopir.Node, array string) bool {
+	for _, r := range sc.refsIn[nd] {
+		if r.Ref().Array == array {
+			return true
+		}
+	}
+	return false
+}
+
+// lastSiteFor returns the last (program-order) reference to array within the
+// subtree.
+func (sc *spanCoster) lastSiteFor(nd loopir.Node, array string) (loopir.RefSite, bool) {
+	refs := sc.refsIn[nd]
+	for i := len(refs) - 1; i >= 0; i-- {
+		if refs[i].Ref().Array == array {
+			return refs[i], true
+		}
+	}
+	return loopir.RefSite{}, false
+}
+
+func (sc *spanCoster) trip(index string) *expr.Expr {
+	return sc.nest.Loop(index).Trip
+}
+
+// refBox computes the element set touched by reference site q within the
+// given region. carrier, when non-nil, is the loop whose single step the
+// span crosses (self-reuse spans): the span consists of the tail of the
+// carrier's body at iteration x plus the head at iteration x+1.
+//
+// Carrier geometry (derived in DESIGN.md §3 and validated against the exact
+// simulator): let w1 be the outermost loop inside the carrier that encloses
+// q, and S the set of inside loops appearing in q.
+//
+//   - q has no subscript term naming the carrier: the two half-bodies'
+//     projections onto S jointly cover the full sweep → size = Π_S trips.
+//   - q names the carrier and the carrier is innermost (no inside loops):
+//     the span touches q exactly once → no adjustment.
+//   - q names the carrier and w1 ∈ S: the sweep splits complementarily
+//     along w1 across the two carrier values (staircase) → size = Π_S
+//     trips + Π_{S∖w1} trips.
+//   - q names the carrier and w1 ∉ S: both half-bodies project onto the
+//     full sweep, in two different carrier positions → size = 2·Π_S trips.
+func (sc *spanCoster) refBox(q loopir.RefSite, reg region, carrier *loopir.Loop) (box, bool) {
+	inside := sc.loopsIn[reg.node]
+	ref := q.Ref()
+	b := box{array: ref.Array, size: LFConst(expr.One())}
+	exact := true
+	carrierHere := false
+	// rest accumulates the box size excluding the w1 factor.
+	rest := LFConst(expr.One())
+	w1 := ""
+	if carrier != nil {
+		encl := sc.nest.Enclosing(q.Stmt)
+		for i, l := range encl {
+			if l == carrier && i+1 < len(encl) {
+				w1 = encl[i+1].Index
+				break
+			}
+		}
+	}
+	w1InS := false
+	var sigParts []string
+	for _, sub := range ref.Subs {
+		dp := dimProfile{entries: map[string]roleKind{}, size: LFConst(expr.One())}
+		var dimSig []string
+		for _, t := range sub.Terms {
+			if carrier != nil && t.Index == carrier.Index {
+				if reg.phase != 0 {
+					// Wrap region: the carrier is pinned to this phase's
+					// iteration; the phase tag keeps boxes from the two
+					// iterations distinct.
+					dimSig = append(dimSig, fmt.Sprintf("%s:carrier@%d", t.Index, reg.phase))
+				} else {
+					carrierHere = true
+					dimSig = append(dimSig, t.Index+":carrier")
+				}
+				continue
+			}
+			if !inside[t.Index] {
+				dimSig = append(dimSig, t.Index+":fixed")
+				continue
+			}
+			role := roleFull
+			if r, ok := reg.roles[t.Index]; ok {
+				role = r
+			}
+			switch role {
+			case roleFull:
+				dp.entries[t.Index] = roleFull
+				dp.size = dp.size.MulConst(sc.trip(t.Index))
+				dimSig = append(dimSig, t.Index+":full")
+				if t.Index == w1 {
+					w1InS = true
+				} else {
+					rest = rest.MulConst(sc.trip(t.Index))
+				}
+			case rolePinned:
+				dimSig = append(dimSig, t.Index+":pinned")
+			case rolePi:
+				dp.entries[t.Index] = rolePi
+				var lf LinForm
+				if reg.kind == regionSuffix {
+					lf = LinForm{Base: sc.trip(t.Index), Slope: expr.Const(-1)}
+					dimSig = append(dimSig, t.Index+":piS")
+				} else {
+					lf = LinForm{Base: expr.One(), Slope: expr.One()}
+					dimSig = append(dimSig, t.Index+":piP")
+				}
+				var ok bool
+				dp.size, ok = dp.size.Mul(lf)
+				exact = exact && ok
+			}
+		}
+		sort.Strings(dimSig)
+		sigParts = append(sigParts, strings.Join(dimSig, ","))
+		b.dims = append(b.dims, dp)
+		var ok bool
+		b.size, ok = b.size.Mul(dp.size)
+		exact = exact && ok
+	}
+	if sc.opts.CarrierCorrection && carrierHere && w1 != "" {
+		if w1InS {
+			b.size = b.size.Add(rest) // staircase split along w1
+		} else {
+			b.size = b.size.MulConst(expr.Const(2))
+		}
+	}
+	b.sig = b.array + "[" + strings.Join(sigParts, ";") + "]"
+	return b, exact
+}
+
+// regionBoxes computes the boxes of every reference inside the region.
+func (sc *spanCoster) regionBoxes(reg region, carrier *loopir.Loop) ([]box, bool) {
+	var out []box
+	exact := true
+	for _, q := range sc.refsIn[reg.node] {
+		b, ok := sc.refBox(q, reg, carrier)
+		out = append(out, b)
+		exact = exact && ok
+	}
+	return out, exact
+}
+
+// ArrayCost is one array's contribution to a span's stack distance — the
+// per-array costs the paper's Table 1 itemizes ("A: 2, B: Tk, C: Tk").
+type ArrayCost struct {
+	Array string
+	Size  LinForm
+}
+
+// mergeBoxesDetailed is mergeBoxes plus the per-array breakdown.
+func mergeBoxesDetailed(boxes []box) (LinForm, bool, []ArrayCost) {
+	total, exact, kept := mergeBoxesKept(boxes)
+	perArray := map[string]LinForm{}
+	var order []string
+	for _, b := range kept {
+		if _, ok := perArray[b.array]; !ok {
+			order = append(order, b.array)
+			perArray[b.array] = LFConst(expr.Zero())
+		}
+		perArray[b.array] = perArray[b.array].Add(b.size)
+	}
+	sort.Strings(order)
+	costs := make([]ArrayCost, len(order))
+	for i, name := range order {
+		costs[i] = ArrayCost{Array: name, Size: perArray[name]}
+	}
+	return total, exact, costs
+}
+
+// mergeBoxes deduplicates identical boxes and removes boxes contained in
+// another; remaining boxes are summed. The bool result reports whether the
+// union was computed without the additive over-approximation (it is false
+// only when two overlapping, non-nested boxes of the same array are summed).
+func mergeBoxes(boxes []box) (LinForm, bool) {
+	total, exact, _ := mergeBoxesKept(boxes)
+	return total, exact
+}
+
+func mergeBoxesKept(boxes []box) (LinForm, bool, []box) {
+	exact := true
+	seen := map[string]int{}
+	var uniq []box
+	for _, b := range boxes {
+		if i, ok := seen[b.sig]; ok {
+			// Same element set described twice; sizes may differ by a small
+			// carrier correction — keep the larger to stay conservative.
+			if larger(b.size, uniq[i].size) {
+				uniq[i] = b
+			}
+			continue
+		}
+		seen[b.sig] = len(uniq)
+		uniq = append(uniq, b)
+	}
+	// Containment pass within each array.
+	kept := make([]bool, len(uniq))
+	for i := range kept {
+		kept[i] = true
+	}
+	for i := range uniq {
+		if !kept[i] {
+			continue
+		}
+		for j := range uniq {
+			if i == j || !kept[j] || !kept[i] {
+				continue
+			}
+			if contains(uniq[i], uniq[j]) {
+				kept[j] = false
+			}
+		}
+	}
+	total := LFConst(expr.Zero())
+	byArray := map[string]int{}
+	var survivors []box
+	for i, b := range uniq {
+		if !kept[i] {
+			continue
+		}
+		total = total.Add(b.size)
+		byArray[b.array]++
+		survivors = append(survivors, b)
+	}
+	// Two surviving boxes of the same array with different shapes are summed;
+	// if their shapes are not provably disjoint this is an over-approximation.
+	for _, n := range byArray {
+		if n > 1 {
+			exact = false
+		}
+	}
+	return total, exact, survivors
+}
+
+// contains reports whether box a's element set provably contains box b's:
+// same array, same dimension structure, and per dimension every loop of b
+// present in a with at-least-as-large a role (full > pi > pinned/absent),
+// with a allowed to vary extra loops fully.
+func contains(a, b box) bool {
+	if a.array != b.array || len(a.dims) != len(b.dims) {
+		return false
+	}
+	for d := range a.dims {
+		for l, rb := range b.dims[d].entries {
+			ra, ok := a.dims[d].entries[l]
+			if !ok || roleRank(ra) < roleRank(rb) {
+				return false
+			}
+		}
+		// Loops varying only in a must be full to guarantee coverage of b's
+		// fixed position — which we cannot verify symbolically, so require
+		// that a has no extra varying loops in this dimension unless b has
+		// none at all (then a is a superset sweep of a single point only if
+		// the fixed positions coincide, which we cannot prove). Be strict:
+		for l := range a.dims[d].entries {
+			if _, ok := b.dims[d].entries[l]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// larger reports whether linear form a is provably at least b (their
+// difference is a non-negative constant polynomial); used only to pick
+// between two descriptions of the same element set.
+func larger(a, b LinForm) bool {
+	d := expr.Sub(a.Base, b.Base)
+	if v, ok := d.ConstVal(); ok && v >= 0 {
+		return true
+	}
+	return false
+}
+
+func roleRank(r roleKind) int {
+	switch r {
+	case roleFull:
+		return 2
+	case rolePi:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// bodySpanCost returns the stack distance of a self-reuse carried by loop L:
+// the union of the boxes of every reference within one complete iteration of
+// L's body, with L as the carrier.
+func (sc *spanCoster) bodySpanCost(L *loopir.Loop) (LinForm, bool, []ArrayCost) {
+	boxes, exact1 := sc.regionBoxes(region{node: L, kind: regionFull}, L)
+	total, exact2, costs := mergeBoxesDetailed(boxes)
+	return total, exact1 && exact2, costs
+}
+
+// crossSpanCost returns the stack distance of a cross-statement reuse whose
+// source is the last access to the array in subtree P (at reference src) and
+// whose target is reference tgt inside subtree X; between holds the sibling
+// subtrees executed in full between P and X. pinned lists the loops on the
+// path inside X (respectively inside P) that are non-appearing in the target
+// (resp. source) reference and hence pinned. pi is the distinguished
+// appearing loop index ("" if none), whose trip bounds the free variable.
+func (sc *spanCoster) crossSpanCost(
+	src loopir.RefSite, P loopir.Node,
+	tgt loopir.RefSite, X loopir.Node,
+	between []loopir.Node,
+	pinnedSrc, pinnedTgt map[string]bool,
+	piSrc, piTgt string,
+) (LinForm, bool, []ArrayCost) {
+	array := tgt.Ref().Array
+	exact := true
+
+	// Role geometry of a partial region: walking the reference's enclosing
+	// chain outermost-first, loops before the distinguished loop π that are
+	// pinned stay pinned for the whole region (they sit at the endpoint's
+	// position); π itself covers a partial range; loops deeper than π run
+	// fully in the bulk of the region regardless of pinning (only the final
+	// partial slice pins them, which is a lower-order effect).
+	mkRoles := func(site loopir.RefSite, branch loopir.Node, pinned map[string]bool, pi string) map[string]roleKind {
+		roles := map[string]roleKind{}
+		seenPi := false
+		for _, l := range sc.nest.Enclosing(site.Stmt) {
+			if !sc.loopsIn[branch][l.Index] {
+				continue
+			}
+			switch {
+			case l.Index == pi:
+				roles[l.Index] = rolePi
+				seenPi = true
+			case pinned[l.Index] && !seenPi:
+				roles[l.Index] = rolePinned
+			default:
+				// full (either unpinned, or pinned but deeper than π)
+			}
+		}
+		if pi == "" {
+			// No appearing loop inside the branch: the endpoint pins every
+			// non-appearing loop; the region is a single slice.
+			for l := range pinned {
+				roles[l] = rolePinned
+			}
+		}
+		return roles
+	}
+
+	var boxes []box
+	// Suffix of the source branch.
+	sufReg := region{node: P, kind: regionSuffix, roles: mkRoles(src, P, pinnedSrc, piSrc)}
+	sufBoxes, ok := sc.regionBoxes(sufReg, nil)
+	exact = exact && ok
+	// Prefix of the target branch.
+	preReg := region{node: X, kind: regionPrefix, roles: mkRoles(tgt, X, pinnedTgt, piTgt)}
+	preBoxes, ok := sc.regionBoxes(preReg, nil)
+	exact = exact && ok
+
+	// Complement rule: the reused array's suffix and prefix boxes jointly
+	// cover exactly the full sweep of the common structure (the source's
+	// high side plus the target's low side of the π dimension). Replace them
+	// with a single full box derived from the target reference.
+	if sc.opts.ComplementRule {
+		dropReused := func(bs []box) []box {
+			var out []box
+			for _, b := range bs {
+				if b.array == array {
+					continue // replaced by the full-common box below
+				}
+				out = append(out, b)
+			}
+			return out
+		}
+		// Build the full box for the reused array from both endpoints:
+		// every loop inside the respective branch runs fully. The suffix
+		// (high side) and prefix (low side) of the π dimension are jointly
+		// a complete sweep, so the full box is the exact union; duplicate
+		// and contained boxes are folded by mergeBoxes.
+		fullTgt, ok2 := sc.refBox(tgt, region{node: X, kind: regionFull}, nil)
+		exact = exact && ok2
+		fullSrc, ok3 := sc.refBox(src, region{node: P, kind: regionFull}, nil)
+		exact = exact && ok3
+		boxes = append(boxes, dropReused(sufBoxes)...)
+		boxes = append(boxes, dropReused(preBoxes)...)
+		boxes = append(boxes, fullTgt, fullSrc)
+	} else {
+		boxes = append(boxes, sufBoxes...)
+		boxes = append(boxes, preBoxes...)
+	}
+	// Fully executed in-between branches.
+	for _, nd := range between {
+		bs, ok2 := sc.regionBoxes(region{node: nd, kind: regionFull, roles: nil}, nil)
+		exact = exact && ok2
+		boxes = append(boxes, bs...)
+	}
+	total, ok3, costs := mergeBoxesDetailed(boxes)
+	return total, exact && ok3, costs
+}
+
+// childContaining returns the child of loop L whose subtree contains the
+// statement, or nil.
+func (sc *spanCoster) childContaining(L *loopir.Loop, s *loopir.Stmt) loopir.Node {
+	for _, child := range L.Body {
+		for _, r := range sc.refsIn[child] {
+			if r.Stmt == s {
+				return child
+			}
+		}
+	}
+	return nil
+}
+
+// wrapSpanCost computes the stack distance of a self-reuse carried by loop
+// L whose source is the last access to the array in a *different* branch of
+// L's body (the TailToHeadWrap refinement). The span runs from the source's
+// position in iteration x to the target's position in iteration x+1:
+//
+//	tail (phase 1, L = x):   suffix of the source branch, then every branch
+//	                         after it, in full;
+//	head (phase 2, L = x+1): every branch before the target branch in full,
+//	                         then the prefix of the target branch.
+//
+// Subscript dimensions naming L take the phase's single iteration value.
+// The reused array's suffix/prefix boxes merge into full-branch sweeps by
+// the complement rule (when enabled).
+func (sc *spanCoster) wrapSpanCost(
+	src loopir.RefSite, P loopir.Node,
+	tgt loopir.RefSite, X loopir.Node,
+	L *loopir.Loop,
+	pinnedTgt map[string]bool,
+	piTgt string,
+) (LinForm, bool, []ArrayCost) {
+	array := tgt.Ref().Array
+	exact := true
+
+	srcAppears := map[string]bool{}
+	for _, sub := range src.Ref().Subs {
+		for _, t := range sub.Terms {
+			srcAppears[t.Index] = true
+		}
+	}
+	pinnedSrc := map[string]bool{}
+	for _, l := range sc.nest.Enclosing(src.Stmt) {
+		if sc.loopsIn[P][l.Index] && !srcAppears[l.Index] {
+			pinnedSrc[l.Index] = true
+		}
+	}
+	piSrc := ""
+	for _, l := range sc.nest.Enclosing(src.Stmt) {
+		if sc.loopsIn[P][l.Index] && srcAppears[l.Index] && !pinnedSrc[l.Index] {
+			piSrc = l.Index
+			break
+		}
+	}
+
+	mkRoles := func(site loopir.RefSite, branch loopir.Node, pinned map[string]bool, pi string) map[string]roleKind {
+		roles := map[string]roleKind{}
+		seenPi := false
+		for _, l := range sc.nest.Enclosing(site.Stmt) {
+			if !sc.loopsIn[branch][l.Index] {
+				continue
+			}
+			switch {
+			case l.Index == pi:
+				roles[l.Index] = rolePi
+				seenPi = true
+			case pinned[l.Index] && !seenPi:
+				roles[l.Index] = rolePinned
+			}
+		}
+		if pi == "" {
+			for l := range pinned {
+				roles[l] = rolePinned
+			}
+		}
+		return roles
+	}
+
+	var boxes []box
+	add := func(bs []box, ok bool) {
+		boxes = append(boxes, bs...)
+		exact = exact && ok
+	}
+
+	// Tail: suffix of P, then every branch after P, all at phase 1.
+	sufReg := region{node: P, kind: regionSuffix, roles: mkRoles(src, P, pinnedSrc, piSrc), phase: 1}
+	sufBoxes, ok := sc.regionBoxes(sufReg, L)
+	exact = exact && ok
+	// Head: every branch before X, then the prefix of X, at phase 2.
+	preReg := region{node: X, kind: regionPrefix, roles: mkRoles(tgt, X, pinnedTgt, piTgt), phase: 2}
+	preBoxes, ok := sc.regionBoxes(preReg, L)
+	exact = exact && ok
+
+	if sc.opts.ComplementRule {
+		drop := func(bs []box) []box {
+			var out []box
+			for _, b := range bs {
+				if b.array != array {
+					out = append(out, b)
+				}
+			}
+			return out
+		}
+		fullTgt, ok2 := sc.refBox(tgt, region{node: X, kind: regionFull, phase: 2}, L)
+		fullSrc, ok3 := sc.refBox(src, region{node: P, kind: regionFull, phase: 1}, L)
+		exact = exact && ok2 && ok3
+		boxes = append(boxes, drop(sufBoxes)...)
+		boxes = append(boxes, drop(preBoxes)...)
+		boxes = append(boxes, fullTgt, fullSrc)
+	} else {
+		boxes = append(boxes, sufBoxes...)
+		boxes = append(boxes, preBoxes...)
+	}
+
+	seenP := false
+	for _, child := range L.Body {
+		if child == P {
+			seenP = true
+			continue
+		}
+		if seenP {
+			add(sc.regionBoxes(region{node: child, kind: regionFull, phase: 1}, L))
+		}
+	}
+	for _, child := range L.Body {
+		if child == X {
+			break
+		}
+		add(sc.regionBoxes(region{node: child, kind: regionFull, phase: 2}, L))
+	}
+
+	total, ok4, costs := mergeBoxesDetailed(boxes)
+	return total, exact && ok4, costs
+}
+
+// describeRegion is used by diagnostics.
+func describeRegion(r region) string {
+	k := "full"
+	switch r.kind {
+	case regionPrefix:
+		k = "prefix"
+	case regionSuffix:
+		k = "suffix"
+	}
+	return fmt.Sprintf("%s region", k)
+}

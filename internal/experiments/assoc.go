@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cachesim"
+	"repro/internal/trace"
+)
+
+// AssocPoint records miss counts for one cache organization on the same
+// trace — the sensitivity study that bounds how far real set-associative
+// caches deviate from the paper's fully-associative model. The paper's
+// experiments side-step conflict misses by copying tiles ("which will also
+// be the case in fully-associative caches", §7.1); this experiment
+// quantifies what that copying buys.
+type AssocPoint struct {
+	Ways      int // 0 = fully associative
+	LineElems int64
+	Misses    int64
+	Accesses  int64
+}
+
+// RunAssocSensitivity simulates the kernel's trace against a fully
+// associative cache and against each of the given associativities, at the
+// same capacity and line size.
+func RunAssocSensitivity(kind string, n int64, tiles []int64, cacheKB int64, ways []int, lineElems int64) ([]AssocPoint, error) {
+	nest, env, err := BuildKernel(kind, n, tiles)
+	if err != nil {
+		return nil, err
+	}
+	p, err := trace.Compile(nest, env)
+	if err != nil {
+		return nil, err
+	}
+	capacity := KB(cacheKB)
+
+	full := cachesim.NewStackSim(p.Size, len(p.Sites), []int64{capacity})
+	var assoc []*cachesim.AssocCache
+	for _, w := range ways {
+		c, err := cachesim.NewAssocCache(capacity, w, lineElems)
+		if err != nil {
+			return nil, fmt.Errorf("ways %d: %w", w, err)
+		}
+		assoc = append(assoc, c)
+	}
+	p.Run(func(site int, addr int64) {
+		full.Access(site, addr)
+		for _, c := range assoc {
+			c.Access(addr)
+		}
+	})
+	res := full.Results()
+	m, err := res.MissesFor(capacity)
+	if err != nil {
+		return nil, err
+	}
+	out := []AssocPoint{{Ways: 0, LineElems: 1, Misses: m, Accesses: res.Accesses}}
+	for i, w := range ways {
+		out = append(out, AssocPoint{
+			Ways:      w,
+			LineElems: lineElems,
+			Misses:    assoc[i].Misses(),
+			Accesses:  assoc[i].Accesses(),
+		})
+	}
+	return out, nil
+}

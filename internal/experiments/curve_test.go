@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+// TestMissCurveAgreementMatmul: the model's whole miss curve tracks the
+// exact success function on the tiled matmul — not just at the paper's
+// probed capacities.
+func TestMissCurveAgreementMatmul(t *testing.T) {
+	a, err := MatmulAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := kernels.MatmulEnv(32, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := RunMissCurve(a, env, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 10 {
+		t.Fatalf("only %d curve points", len(pts))
+	}
+	// Monotone non-increasing in capacity (both series).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Simulated > pts[i-1].Simulated {
+			t.Errorf("simulated curve not monotone at %d", pts[i].CacheElems)
+		}
+		if pts[i].Predicted > pts[i-1].Predicted {
+			t.Errorf("predicted curve not monotone at %d", pts[i].CacheElems)
+		}
+	}
+	// Largest capacity: compulsory only, both sides.
+	last := pts[len(pts)-1]
+	if last.Predicted != last.Simulated {
+		t.Errorf("compulsory tail: predicted %d vs %d", last.Predicted, last.Simulated)
+	}
+	// Worst relative error across the curve stays modest (the power-of-two
+	// ladder lands near SD boundaries at a few points).
+	if worst := CurveMaxRelErr(pts, 1000); worst > 0.25 {
+		t.Errorf("worst curve error %.3f:\n%s", worst, FormatCurve(pts, 0))
+	}
+}
+
+func TestMissCurveAgreementTwoIndex(t *testing.T) {
+	a, err := TwoIndexAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := kernels.TwoIndexEnv(32, 8, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := RunMissCurve(a, env, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst := CurveMaxRelErr(pts, 2000); worst > 0.35 {
+		t.Errorf("worst curve error %.3f:\n%s", worst, FormatCurve(pts, 0))
+	}
+	out := FormatCurve(pts, pts[0].Simulated)
+	if !strings.Contains(out, "rel-err") {
+		t.Fatal("bad rendering")
+	}
+}

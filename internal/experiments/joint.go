@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/kernels"
+	"repro/internal/loopir"
+	"repro/internal/tilesearch"
+)
+
+// JointResult is the outcome of the compound model-driven optimization: for
+// each loop order of the matmul, strip-mine it and search tile sizes; the
+// globally best (order, tiles) pair is what a model-driven compiler would
+// emit. This composes the two transformations the paper's introduction
+// motivates ("accurate cache models that can be effectively used by
+// compilers in performing loop transformations").
+type JointResult struct {
+	Order  string
+	Tiles  map[string]int64
+	Misses int64
+	// PerOrder records each order's best, for inspection.
+	PerOrder map[string]tilesearch.Candidate
+}
+
+// RunJointOptimization evaluates all six matmul loop orders, tiling each.
+func RunJointOptimization(n int64, cacheElems int64) (*JointResult, error) {
+	base, err := kernels.Matmul()
+	if err != nil {
+		return nil, err
+	}
+	orders := [][]string{
+		{"i", "j", "k"}, {"i", "k", "j"}, {"j", "i", "k"},
+		{"j", "k", "i"}, {"k", "i", "j"}, {"k", "j", "i"},
+	}
+	res := &JointResult{PerOrder: map[string]tilesearch.Candidate{}, Misses: 1 << 62}
+	for _, ord := range orders {
+		perm, err := loopir.PermutePerfect(base, ord)
+		if err != nil {
+			return nil, err
+		}
+		chain, stmt, ok := perm.IsPerfect()
+		if !ok {
+			return nil, fmt.Errorf("experiments: permuted nest not perfect")
+		}
+		// Strip-mine the permuted order.
+		var indices []string
+		var trips []*expr.Expr
+		var tiles []loopir.TileSpec
+		var arrays []*loopir.Array
+		for _, a := range perm.Arrays {
+			arrays = append(arrays, a)
+		}
+		for _, l := range chain {
+			indices = append(indices, l.Index)
+			trips = append(trips, l.Trip)
+			tiles = append(tiles, loopir.DefaultTileSpec(l.Index, l.Trip))
+		}
+		spec := loopir.PerfectNestSpec{
+			Name:    perm.Name,
+			Arrays:  arrays,
+			Indices: indices,
+			Trips:   trips,
+			Stmt:    stmt,
+		}
+		tiled, err := loopir.TilePerfect(spec, tiles)
+		if err != nil {
+			return nil, err
+		}
+		a, err := core.Analyze(tiled)
+		if err != nil {
+			return nil, err
+		}
+		var dims []tilesearch.Dim
+		for _, ts := range tiles {
+			dims = append(dims, tilesearch.Dim{Symbol: ts.TileVar, Max: n})
+		}
+		sr, err := tilesearch.Search(a, tilesearch.Options{
+			Dims:       dims,
+			CacheElems: cacheElems,
+			BaseEnv:    expr.Env{"N": n},
+			DivisorOf:  n,
+		})
+		if err != nil {
+			return nil, err
+		}
+		key := fmt.Sprintf("%s-%s-%s", ord[0], ord[1], ord[2])
+		res.PerOrder[key] = sr.Best
+		if sr.Best.Misses < res.Misses {
+			res.Misses = sr.Best.Misses
+			res.Order = key
+			res.Tiles = sr.Best.Tiles
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+func TestJointOptimization(t *testing.T) {
+	const n, cache = 64, 512
+	res, err := RunJointOptimization(n, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerOrder) != 6 {
+		t.Fatalf("%d orders evaluated", len(res.PerOrder))
+	}
+	if res.Order == "" || len(res.Tiles) != 3 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	// The global best is no worse than any per-order best.
+	for ord, cand := range res.PerOrder {
+		if res.Misses > cand.Misses {
+			t.Errorf("global best %d worse than order %s's %d", res.Misses, ord, cand.Misses)
+		}
+	}
+	// Tiling equalizes the orders: every order's tiled optimum must be
+	// within 2x of the best (tiling absorbs most of the order sensitivity).
+	for ord, cand := range res.PerOrder {
+		if cand.Misses > 2*res.Misses {
+			t.Errorf("order %s optimum %d more than 2x the best %d — tiling failed to absorb order",
+				ord, cand.Misses, res.Misses)
+		}
+	}
+}

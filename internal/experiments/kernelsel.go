@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/kernels"
+	"repro/internal/loopir"
+	"repro/internal/tce"
+)
+
+// BuildKernel constructs one of the built-in kernels with a common loop
+// bound and tile sizes:
+//
+//	matmul     — 6-deep tiled matrix multiplication (3 tiles)
+//	twoindex   — tiled fused two-index transform, Fig. 6 (4 tiles)
+//	fourindex  — fully fused four-index transform chain (no tiles; n is the
+//	             AO range, the MO range is n/2)
+//	ccsd       — tiled CCSD doubles contraction R += W·T2 (6 tiles; n is
+//	             the virtual range, the occupied range is n/2)
+func BuildKernel(kind string, n int64, tiles []int64) (*loopir.Nest, expr.Env, error) {
+	switch kind {
+	case "matmul":
+		if len(tiles) == 0 {
+			tiles = []int64{32, 32, 32}
+		}
+		if len(tiles) != 3 {
+			return nil, nil, fmt.Errorf("matmul needs 3 tile sizes, got %d", len(tiles))
+		}
+		nest, err := kernels.TiledMatmul()
+		if err != nil {
+			return nil, nil, err
+		}
+		env, err := kernels.MatmulEnv(n, tiles[0], tiles[1], tiles[2])
+		return nest, env, err
+	case "twoindex":
+		if len(tiles) == 0 {
+			tiles = []int64{64, 16, 16, 64}
+		}
+		if len(tiles) != 4 {
+			return nil, nil, fmt.Errorf("twoindex needs 4 tile sizes, got %d", len(tiles))
+		}
+		nest, err := kernels.TiledTwoIndex(kernels.SymbolicTwoIndexBounds())
+		if err != nil {
+			return nil, nil, err
+		}
+		env, err := kernels.TwoIndexEnv(n, tiles[0], tiles[1], tiles[2], tiles[3])
+		return nest, env, err
+	case "fourindex":
+		if len(tiles) != 0 {
+			return nil, nil, fmt.Errorf("fourindex takes no tile sizes (fully fused form)")
+		}
+		c, r := tce.FourIndexTransform()
+		tree, err := tce.OpMin(c, r, expr.Env{"N": 64, "V": 32})
+		if err != nil {
+			return nil, nil, err
+		}
+		nest, err := tce.GenFusedTransformChain("four-index-fused", tree.Sequence(), r)
+		if err != nil {
+			return nil, nil, err
+		}
+		v := n / 2
+		if v < 1 {
+			v = 1
+		}
+		return nest, expr.Env{"N": n, "V": v}, nil
+	case "ccsd":
+		o := n / 2
+		if o < 1 {
+			o = 1
+		}
+		if len(tiles) == 0 {
+			tiles = []int64{n / 4, n / 4, o / 2, o / 2, n / 4, n / 4}
+			for i, tv := range tiles {
+				if tv < 1 {
+					tiles[i] = 1
+				}
+			}
+		}
+		if len(tiles) != 6 {
+			return nil, nil, fmt.Errorf("ccsd needs 6 tile sizes (TA,TB,TI,TJ,TC,TD), got %d", len(tiles))
+		}
+		nest, err := kernels.TiledCCSD()
+		if err != nil {
+			return nil, nil, err
+		}
+		env, err := kernels.CCSDEnv(n, o, tiles[0], tiles[1], tiles[2], tiles[3], tiles[4], tiles[5])
+		return nest, env, err
+	}
+	return nil, nil, fmt.Errorf("unknown kernel %q (want matmul, twoindex, fourindex or ccsd)", kind)
+}
+
+// LoadNestFile parses a loop nest from the textual format (see
+// loopir.Parse) and binds its symbols from defines.
+func LoadNestFile(path string, defines map[string]int64) (*loopir.Nest, expr.Env, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	nest, err := loopir.Parse(string(src))
+	if err != nil {
+		return nil, nil, err
+	}
+	env := expr.Env{}
+	for k, v := range defines {
+		env[k] = v
+	}
+	if err := nest.ValidateEnv(env); err != nil {
+		return nil, nil, fmt.Errorf("%w (bind symbols with -D name=value)", err)
+	}
+	return nest, env, nil
+}
+
+// ParseDefines parses repeated "name=value" definitions.
+func ParseDefines(defs []string) (map[string]int64, error) {
+	out := map[string]int64{}
+	for _, d := range defs {
+		parts := strings.SplitN(d, "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad define %q (want name=value)", d)
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad define value %q", d)
+		}
+		out[strings.TrimSpace(parts[0])] = v
+	}
+	return out, nil
+}
+
+// ParseTiles parses a comma-separated tile list ("" yields nil).
+func ParseTiles(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad tile size %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

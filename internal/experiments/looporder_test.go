@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestLoopOrderRanking: the model's ranking of the six matmul loop orders
+// must agree with exact simulation on which orders tie and which extremes
+// win (permutation pairs that only swap the outer two loops of a reuse
+// pattern behave identically at this scale).
+func TestLoopOrderRanking(t *testing.T) {
+	const n = 48
+	const cache = 256
+	pts, err := RunLoopOrder(n, cache, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Model tracks the simulator within 10% + boundary slack on each order.
+	for _, p := range pts {
+		diff := p.Predicted - p.Simulated
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > 0.10*float64(p.Simulated)+4*n*n {
+			t.Errorf("%s: predicted %d vs simulated %d", p.Order, p.Predicted, p.Simulated)
+		}
+	}
+	// The order minimizing predicted misses must also minimize (or tie
+	// within slack) the simulated misses.
+	byPred := append([]LoopOrderPoint(nil), pts...)
+	sort.Slice(byPred, func(i, j int) bool { return byPred[i].Predicted < byPred[j].Predicted })
+	bySim := append([]LoopOrderPoint(nil), pts...)
+	sort.Slice(bySim, func(i, j int) bool { return bySim[i].Simulated < bySim[j].Simulated })
+	bestPred := byPred[0]
+	bestSim := bySim[0].Simulated
+	if float64(bestPred.Simulated) > 1.1*float64(bestSim)+float64(4*n*n) {
+		t.Errorf("model's best order %s simulates to %d, true best is %d",
+			bestPred.Order, bestPred.Simulated, bestSim)
+	}
+}
+
+func TestLoopOrderPredictionOnly(t *testing.T) {
+	pts, err := RunLoopOrder(64, 512, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Simulated != -1 {
+			t.Errorf("unexpected simulation for %s", p.Order)
+		}
+		if p.Predicted <= 0 {
+			t.Errorf("no prediction for %s", p.Order)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cachesim"
+	"repro/internal/trace"
+)
+
+// OptGapPoint compares LRU (the paper's model) with Belady's offline
+// optimum on the same trace — how much of the miss count is intrinsic to
+// the access pattern versus attributable to the LRU policy. For well-tiled
+// code the gap should be small (most misses are compulsory or capacity
+// misses no policy can avoid); a large gap would mean tiling left policy
+// head-room on the table.
+type OptGapPoint struct {
+	CacheKB   int64
+	LRUMisses int64
+	OptMisses int64
+	Accesses  int64
+}
+
+// Gap returns (LRU − OPT) / OPT.
+func (p OptGapPoint) Gap() float64 {
+	if p.OptMisses == 0 {
+		return 0
+	}
+	return float64(p.LRUMisses-p.OptMisses) / float64(p.OptMisses)
+}
+
+// RunOptGap materializes the kernel's trace once and evaluates both
+// policies at each cache size. Sizes must keep the trace in memory — use
+// reduced bounds.
+func RunOptGap(kind string, n int64, tiles []int64, cacheKBs []int64) ([]OptGapPoint, error) {
+	nest, env, err := BuildKernel(kind, n, tiles)
+	if err != nil {
+		return nil, err
+	}
+	p, err := trace.Compile(nest, env)
+	if err != nil {
+		return nil, err
+	}
+	length, err := p.Length()
+	if err != nil {
+		return nil, err
+	}
+	if length > 1<<27 {
+		return nil, fmt.Errorf("experiments: trace of %d accesses too large to materialize for OPT", length)
+	}
+	addrs := make([]int64, 0, length)
+	var watches []int64
+	for _, kb := range cacheKBs {
+		watches = append(watches, KB(kb))
+	}
+	sim := cachesim.NewStackSim(p.Size, len(p.Sites), watches)
+	p.Run(func(site int, addr int64) {
+		sim.Access(site, addr)
+		addrs = append(addrs, addr)
+	})
+	res := sim.Results()
+
+	var out []OptGapPoint
+	for i, kb := range cacheKBs {
+		opt, err := cachesim.OptMisses(addrs, watches[i])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, OptGapPoint{
+			CacheKB:   kb,
+			LRUMisses: res.Misses[i],
+			OptMisses: opt,
+			Accesses:  res.Accesses,
+		})
+	}
+	return out, nil
+}

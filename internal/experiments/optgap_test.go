@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+func TestOptGapTiledMatmul(t *testing.T) {
+	pts, err := RunOptGap("matmul", 48, []int64{8, 8, 8}, []int64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.OptMisses > p.LRUMisses {
+			t.Errorf("cache %dKB: OPT %d exceeds LRU %d", p.CacheKB, p.OptMisses, p.LRUMisses)
+		}
+		if p.OptMisses <= 0 || p.Accesses <= 0 {
+			t.Errorf("degenerate point %+v", p)
+		}
+		if g := p.Gap(); g < 0 {
+			t.Errorf("negative gap %f", g)
+		}
+	}
+}
+
+func TestOptGapRejectsHugeTraces(t *testing.T) {
+	if _, err := RunOptGap("matmul", 1024, []int64{64, 64, 64}, []int64{64}); err == nil {
+		t.Fatal("huge trace accepted")
+	}
+}

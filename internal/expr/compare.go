@@ -1,0 +1,101 @@
+package expr
+
+// This file provides sound-but-incomplete symbolic comparisons under the
+// assumption that every symbol is a positive integer — which holds for all
+// the model's symbols (loop bounds, tile sizes, trip counts). They are used
+// to order stack-distance expressions without concrete bindings, e.g. to
+// prove that one tiling's distances dominate another's.
+
+// NonNegativeForPositive reports whether e is provably >= 0 whenever every
+// symbol is >= 1. The check is sound, not complete: it returns true when
+// the polynomial part, rewritten at the lower bound of each monomial,
+// cannot be negative, treating opaque nodes conservatively.
+func (e *Expr) NonNegativeForPositive() bool {
+	switch e.kind {
+	case KindInf:
+		return true
+	case KindPoly:
+		// Sum of coefficients where negative monomials are taken at their
+		// minimum (each variable = 1) and positive monomials likewise at
+		// their minimum (each variable = 1): a lower bound of the value is
+		// then the plain coefficient sum only when no positive coefficient
+		// multiplies a variable... To stay sound we require: the constant
+		// term plus the sum of negative coefficients (at minimum magnitude
+		// it is -|c| times at least 1) is >= 0 when each negative monomial
+		// is dominated pointwise. The simplest sound rule: all
+		// coefficients non-negative, OR every negative monomial's key is
+		// also present with a dominating positive coefficient on a
+		// superset monomial. We implement the first plus the N*X - X >= 0
+		// pattern (a negative monomial whose variables are a subset of a
+		// positive monomial's with coefficient at least as large).
+		type mono struct {
+			key  string
+			coef int64
+		}
+		var negs, poss []mono
+		for k, c := range e.poly {
+			if c < 0 {
+				negs = append(negs, mono{k, c})
+			} else if c > 0 {
+				poss = append(poss, mono{k, c})
+			}
+		}
+		if len(negs) == 0 {
+			return true
+		}
+		// Try to cover each negative monomial with a distinct share of a
+		// positive monomial that contains all its factors.
+		remaining := map[string]int64{}
+		for _, p := range poss {
+			remaining[p.key] = p.coef
+		}
+		for _, n := range negs {
+			covered := false
+			for _, p := range poss {
+				if remaining[p.key] >= -n.coef && containsFactors(p.key, n.key) {
+					remaining[p.key] += n.coef // consume coverage
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	case KindDiv, KindCeilDiv:
+		// floor/ceil of nonneg/positive stays nonneg.
+		return e.args[0].NonNegativeForPositive() && e.args[1].NonNegativeForPositive()
+	case KindMin, KindMax, KindSum, KindProd:
+		for _, a := range e.args {
+			if !a.NonNegativeForPositive() {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// GEForPositive reports whether a >= b is provable for all positive integer
+// bindings (sound, not complete): it checks a - b when both are polynomial,
+// and falls back to structural equality otherwise.
+func GEForPositive(a, b *Expr) bool {
+	if a.IsInf() {
+		return true
+	}
+	if b.IsInf() {
+		return false
+	}
+	if a.kind == KindPoly && b.kind == KindPoly {
+		return Sub(a, b).NonNegativeForPositive()
+	}
+	return a.Equal(b)
+}
+
+// containsFactors reports whether the monomial key `sup` contains every
+// factor (with multiplicity) of `sub`.
+func containsFactors(sup, sub string) bool {
+	_, ok := removeFactors(splitKey(sup), splitKey(sub))
+	return ok
+}

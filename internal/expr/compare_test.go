@@ -1,0 +1,92 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNonNegativeForPositive(t *testing.T) {
+	n, ti := Var("N"), Var("TI")
+	cases := []struct {
+		e    *Expr
+		want bool
+	}{
+		{Const(0), true},
+		{Const(5), true},
+		{Const(-1), false},
+		{n, true},
+		{Mul(n, ti), true},
+		{Sub(n, Const(1000)), false}, // N could be 1
+		{Sub(Mul(n, ti), ti), true},  // N·TI − TI = TI(N−1) >= 0
+		{Sub(Mul(n, ti), n), true},
+		{Sub(Mul(n, ti), Mul(Const(2), ti)), false}, // N·TI − 2TI < 0 at N=1
+		{Sub(Mul(Const(2), n, ti), Mul(Const(2), ti)), true},
+		{Sub(ti, Mul(n, ti)), false},
+		{Add(Mul(n, ti), Const(-1)), true}, // N·TI >= 1 for positive ints
+		{Inf(), true},
+		{Div(Mul(n, ti), ti), true},
+		{Min(n, ti), true},
+		{Max(n, Const(0)), true},
+	}
+	for i, c := range cases {
+		if got := c.e.NonNegativeForPositive(); got != c.want {
+			t.Errorf("case %d (%s): got %v want %v", i, c.e, got, c.want)
+		}
+	}
+}
+
+// TestNonNegativeSound: whenever the check says yes, random positive
+// bindings must agree.
+func TestNonNegativeSound(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		e, _ := randExpr(r, 4)
+		if !e.NonNegativeForPositive() {
+			continue
+		}
+		for k := 0; k < 30; k++ {
+			env := Env{
+				"a": int64(1 + r.Intn(9)),
+				"b": int64(1 + r.Intn(9)),
+				"c": int64(1 + r.Intn(9)),
+			}
+			v, err := e.Eval(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < 0 {
+				t.Fatalf("claimed nonneg but %s = %d at %v", e, v, env)
+			}
+		}
+	}
+}
+
+func TestGEForPositive(t *testing.T) {
+	n, ti, tj := Var("N"), Var("TI"), Var("TJ")
+	if !GEForPositive(Mul(n, ti), ti) {
+		t.Error("N·TI >= TI should hold")
+	}
+	if GEForPositive(ti, Mul(n, ti)) {
+		t.Error("TI >= N·TI should not be provable")
+	}
+	if !GEForPositive(Inf(), Mul(n, ti, tj)) {
+		t.Error("inf >= anything")
+	}
+	if GEForPositive(Mul(n, ti), Inf()) {
+		t.Error("finite >= inf should fail")
+	}
+	// SD dominance example: TI·TN + TN·TJ + TJ >= TN·TJ.
+	tn := Var("TN")
+	big := Add(Mul(ti, tn), Mul(tn, tj), tj)
+	if !GEForPositive(big, Mul(tn, tj)) {
+		t.Error("SD dominance failed")
+	}
+	// Opaque nodes: only equality.
+	d := Div(n, ti)
+	if !GEForPositive(d, d) {
+		t.Error("x >= x for opaque")
+	}
+	if GEForPositive(d, Div(n, tj)) {
+		t.Error("incomparable opaques accepted")
+	}
+}

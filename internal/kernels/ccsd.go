@@ -1,0 +1,93 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/loopir"
+)
+
+// TiledCCSD builds a coupled-cluster doubles-style contraction — the kind
+// of term the paper's introduction motivates ("accurate electronic
+// structure calculations, such as the coupled cluster models"):
+//
+//	R(a,b,i,j) += Σ_{c,d} W(a,b,c,d) · T2(c,d,i,j)
+//
+// with virtual indices a,b,c,d of range V and occupied indices i,j of
+// range O, all six loops tiled (12-deep perfect compute nest preceded by
+// the initialization of R — an imperfectly nested program overall). Tile
+// symbols are TA, TB, TI, TJ, TC, TD.
+func TiledCCSD() (*loopir.Nest, error) {
+	v := expr.Var("V")
+	o := expr.Var("O")
+	arrays := []*loopir.Array{
+		{Name: "R", Dims: []*expr.Expr{v, v, o, o}},
+		{Name: "W", Dims: []*expr.Expr{v, v, v, v}},
+		{Name: "T2", Dims: []*expr.Expr{v, v, o, o}},
+	}
+	stmt := &loopir.Stmt{
+		Label: "S2",
+		Flops: 2,
+		Refs: []loopir.Ref{
+			{Array: "W", Mode: loopir.Read, Subs: []loopir.Subscript{
+				loopir.Idx("a"), loopir.Idx("b"), loopir.Idx("c"), loopir.Idx("d"),
+			}},
+			{Array: "T2", Mode: loopir.Read, Subs: []loopir.Subscript{
+				loopir.Idx("c"), loopir.Idx("d"), loopir.Idx("i"), loopir.Idx("j"),
+			}},
+			{Array: "R", Mode: loopir.Update, Subs: []loopir.Subscript{
+				loopir.Idx("a"), loopir.Idx("b"), loopir.Idx("i"), loopir.Idx("j"),
+			}},
+		},
+	}
+	spec := loopir.PerfectNestSpec{
+		Name:    "ccsd-doubles",
+		Arrays:  arrays,
+		Indices: []string{"a", "b", "i", "j", "c", "d"},
+		Trips:   []*expr.Expr{v, v, o, o, v, v},
+		Stmt:    stmt,
+	}
+	tiles := []loopir.TileSpec{
+		loopir.DefaultTileSpec("a", v),
+		loopir.DefaultTileSpec("b", v),
+		loopir.DefaultTileSpec("i", o),
+		loopir.DefaultTileSpec("j", o),
+		loopir.DefaultTileSpec("c", v),
+		loopir.DefaultTileSpec("d", v),
+	}
+	tiled, err := loopir.TilePerfect(spec, tiles)
+	if err != nil {
+		return nil, err
+	}
+	// Prepend the initialization of R as a sibling nest (plain indices).
+	init := &loopir.Stmt{Label: "S1", Refs: []loopir.Ref{
+		{Array: "R", Mode: loopir.Write, Subs: []loopir.Subscript{
+			loopir.Idx("a0"), loopir.Idx("b0"), loopir.Idx("i0"), loopir.Idx("j0"),
+		}},
+	}}
+	initNest := &loopir.Loop{Index: "a0", Trip: v, Body: []loopir.Node{
+		&loopir.Loop{Index: "b0", Trip: v, Body: []loopir.Node{
+			&loopir.Loop{Index: "i0", Trip: o, Body: []loopir.Node{
+				&loopir.Loop{Index: "j0", Trip: o, Body: []loopir.Node{init}},
+			}},
+		}},
+	}}
+	root := append([]loopir.Node{initNest}, tiled.Root...)
+	return loopir.NewNest("ccsd-doubles-tiled", arrays, root)
+}
+
+// CCSDEnv binds the CCSD kernel's symbols: virtual range v, occupied range
+// o, and tile sizes (ta, tb, ti, tj, tc, td) which must divide their
+// ranges.
+func CCSDEnv(v, o, ta, tb, ti, tj, tc, td int64) (expr.Env, error) {
+	checks := [][2]int64{{v, ta}, {v, tb}, {o, ti}, {o, tj}, {v, tc}, {v, td}}
+	for _, c := range checks {
+		if c[1] <= 0 || c[0]%c[1] != 0 {
+			return nil, fmt.Errorf("kernels: tile %d does not divide bound %d", c[1], c[0])
+		}
+	}
+	return expr.Env{
+		"V": v, "O": o,
+		"TA": ta, "TB": tb, "TI": ti, "TJ": tj, "TC": tc, "TD": td,
+	}, nil
+}

@@ -1,0 +1,199 @@
+package kernels
+
+import "fmt"
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// FillSequential initializes the matrix with a deterministic pattern, useful
+// for reproducible correctness checks.
+func (m *Matrix) FillSequential(scale float64) {
+	for i := range m.Data {
+		m.Data[i] = scale * float64(i%97+1)
+	}
+}
+
+// MatmulNaive computes C += A·B with the plain i-j-k loop order.
+func MatmulNaive(a, b, c *Matrix) error {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		return fmt.Errorf("kernels: shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			aij := a.At(i, j)
+			for k := 0; k < b.Cols; k++ {
+				c.Data[i*c.Cols+k] += aij * b.At(j, k)
+			}
+		}
+	}
+	return nil
+}
+
+// MatmulTiled computes C += A·B with the 6-deep tiled loop order of Fig. 2.
+// Tile sizes must divide the corresponding extents.
+func MatmulTiled(a, b, c *Matrix, ti, tj, tk int) error {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		return fmt.Errorf("kernels: shape mismatch")
+	}
+	if ti <= 0 || tj <= 0 || tk <= 0 ||
+		a.Rows%ti != 0 || a.Cols%tj != 0 || b.Cols%tk != 0 {
+		return fmt.Errorf("kernels: tiles (%d,%d,%d) must divide (%d,%d,%d)",
+			ti, tj, tk, a.Rows, a.Cols, b.Cols)
+	}
+	for iT := 0; iT < a.Rows; iT += ti {
+		for jT := 0; jT < a.Cols; jT += tj {
+			for kT := 0; kT < b.Cols; kT += tk {
+				for i := iT; i < iT+ti; i++ {
+					for j := jT; j < jT+tj; j++ {
+						aij := a.At(i, j)
+						for k := kT; k < kT+tk; k++ {
+							c.Data[i*c.Cols+k] += aij * b.At(j, k)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TwoIndexNaive computes the unfused two-index transform
+// B[m,n] = Σ_i C1[m,i] · T[n,i] with T[n,i] = Σ_j C2[n,j] · A[i,j],
+// materializing the full intermediate T (NN×NI) — the memory-hungry
+// baseline of Fig. 1(a).
+func TwoIndexNaive(a, c1, c2 *Matrix) (*Matrix, *Matrix, error) {
+	ni, nj := a.Rows, a.Cols
+	nm := c1.Rows
+	nn := c2.Rows
+	if c1.Cols != ni || c2.Cols != nj {
+		return nil, nil, fmt.Errorf("kernels: shape mismatch in two-index transform")
+	}
+	t := NewMatrix(nn, ni)
+	for i := 0; i < ni; i++ {
+		for n := 0; n < nn; n++ {
+			var s float64
+			for j := 0; j < nj; j++ {
+				s += c2.At(n, j) * a.At(i, j)
+			}
+			t.Set(n, i, s)
+		}
+	}
+	b := NewMatrix(nm, nn)
+	for i := 0; i < ni; i++ {
+		for n := 0; n < nn; n++ {
+			tni := t.At(n, i)
+			for m := 0; m < nm; m++ {
+				b.Data[m*nn+n] += c1.At(m, i) * tni
+			}
+		}
+	}
+	return b, t, nil
+}
+
+// TwoIndexFused computes the fused two-index transform of Fig. 1(c): the
+// intermediate is contracted to a scalar, using O(1) extra memory.
+func TwoIndexFused(a, c1, c2 *Matrix) (*Matrix, error) {
+	ni, nj := a.Rows, a.Cols
+	nm := c1.Rows
+	nn := c2.Rows
+	if c1.Cols != ni || c2.Cols != nj {
+		return nil, fmt.Errorf("kernels: shape mismatch in two-index transform")
+	}
+	b := NewMatrix(nm, nn)
+	for i := 0; i < ni; i++ {
+		for n := 0; n < nn; n++ {
+			var t float64
+			for j := 0; j < nj; j++ {
+				t += c2.At(n, j) * a.At(i, j)
+			}
+			for m := 0; m < nm; m++ {
+				b.Data[m*nn+n] += c1.At(m, i) * t
+			}
+		}
+	}
+	return b, nil
+}
+
+// TwoIndexTiled computes the tiled fused two-index transform of Fig. 6 with
+// a tile-local intermediate buffer T[ti][tn]. nLo/nHi restrict the nT range
+// so that the SMP executor can partition the parallel n loop (each processor
+// then owns a disjoint column slice of B, making parallel execution
+// write-conflict-free); pass 0, NN for the full computation. The result is
+// accumulated into b.
+func TwoIndexTiled(a, c1, c2, b *Matrix, ti, tj, tm, tn, nLo, nHi int) error {
+	ni, nj := a.Rows, a.Cols
+	nm := c1.Rows
+	nn := c2.Rows
+	if c1.Cols != ni || c2.Cols != nj || b.Rows != nm || b.Cols != nn {
+		return fmt.Errorf("kernels: shape mismatch in tiled two-index transform")
+	}
+	if ti <= 0 || tj <= 0 || tm <= 0 || tn <= 0 ||
+		ni%ti != 0 || nj%tj != 0 || nm%tm != 0 || nn%tn != 0 {
+		return fmt.Errorf("kernels: tiles (%d,%d,%d,%d) must divide (%d,%d,%d,%d)",
+			ti, tj, tm, tn, ni, nj, nm, nn)
+	}
+	if nLo < 0 || nHi > nn || nLo%tn != 0 {
+		return fmt.Errorf("kernels: invalid nT range [%d,%d)", nLo, nHi)
+	}
+	t := make([]float64, ti*tn)
+	for iT := 0; iT < ni; iT += ti {
+		for nT := nLo; nT < nHi; nT += tn {
+			for x := range t {
+				t[x] = 0
+			}
+			for jT := 0; jT < nj; jT += tj {
+				for iI := 0; iI < ti; iI++ {
+					for nI := 0; nI < tn; nI++ {
+						var s float64
+						for jI := 0; jI < tj; jI++ {
+							s += a.At(iT+iI, jT+jI) * c2.At(nT+nI, jT+jI)
+						}
+						t[iI*tn+nI] += s
+					}
+				}
+			}
+			for mT := 0; mT < nm; mT += tm {
+				for iI := 0; iI < ti; iI++ {
+					for nI := 0; nI < tn; nI++ {
+						tv := t[iI*tn+nI]
+						for mI := 0; mI < tm; mI++ {
+							b.Data[(mT+mI)*nn+(nT+nI)] += tv * c1.At(mT+mI, iT+iI)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between two
+// matrices of identical shape.
+func MaxAbsDiff(x, y *Matrix) float64 {
+	var worst float64
+	for i := range x.Data {
+		d := x.Data[i] - y.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

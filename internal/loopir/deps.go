@@ -1,0 +1,134 @@
+package loopir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dependence diagnostics for the supported class. The TCE guarantees that
+// the loops it generates are fully permutable with no fusion-preventing
+// dependences (§2 of the paper); for user-written nests these checks
+// surface the places where that guarantee must be argued rather than
+// assumed. They are conservative: an empty hazard list means the transform
+// is provably safe under the class's semantics; a non-empty list means a
+// human (or a cleverer analysis) must decide.
+
+// FusionHazards inspects two sibling loops that FuseAdjacent would merge
+// (same index name and trip) and reports the array/dimension pairs whose
+// dependence structure fusion could violate:
+//
+//   - a write in one loop and any access in the other to the same array
+//     where some dimension's use of the fused index differs (one side uses
+//     it, the other does not, or with a different term structure): after
+//     fusion the access at iteration i may see a different element state
+//     than before;
+//   - a read-modify-write (Update) in the producer paired with a read in
+//     the consumer on a dimension not indexed by the fused loop: the
+//     consumer would observe partial accumulations.
+//
+// Aligned dimensions — both sides using the fused index with identical
+// term structure — are safe: iteration i touches the same elements on both
+// sides before and after fusion.
+func FusionHazards(n *Nest, a, b *Loop) []string {
+	if a.Index != b.Index || !a.Trip.Equal(b.Trip) {
+		return []string{fmt.Sprintf("loops %s and %s are not fusable siblings", a.Index, b.Index)}
+	}
+	type access struct {
+		ref  *Ref
+		site string
+	}
+	collect := func(l *Loop) map[string][]access {
+		out := map[string][]access{}
+		var walk func(nodes []Node)
+		walk = func(nodes []Node) {
+			for _, nd := range nodes {
+				switch v := nd.(type) {
+				case *Loop:
+					walk(v.Body)
+				case *Stmt:
+					for i := range v.Refs {
+						r := &v.Refs[i]
+						out[r.Array] = append(out[r.Array], access{r, fmt.Sprintf("%s#%d", v.Label, i)})
+					}
+				}
+			}
+		}
+		walk(l.Body)
+		return out
+	}
+	accA := collect(a)
+	accB := collect(b)
+
+	var hazards []string
+	arrays := map[string]bool{}
+	for name := range accA {
+		if _, ok := accB[name]; ok {
+			arrays[name] = true
+		}
+	}
+	names := make([]string, 0, len(arrays))
+	for name := range arrays {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, x := range accA[name] {
+			for _, y := range accB[name] {
+				if x.ref.Mode == Read && y.ref.Mode == Read {
+					continue
+				}
+				if h := pairHazard(a.Index, x.ref, y.ref); h != "" {
+					hazards = append(hazards,
+						fmt.Sprintf("%s: %s vs %s: %s", name, x.site, y.site, h))
+				}
+			}
+		}
+	}
+	return hazards
+}
+
+// pairHazard checks one writer/accessor pair dimension by dimension.
+func pairHazard(fused string, w, r *Ref) string {
+	usesFused := func(sub Subscript) (bool, string) {
+		var terms []string
+		uses := false
+		for _, t := range sub.Terms {
+			s := t.Index
+			if t.Stride != nil {
+				s += "*" + t.Stride.String()
+			}
+			terms = append(terms, s)
+			if t.Index == fused {
+				uses = true
+			}
+		}
+		sort.Strings(terms)
+		return uses, strings.Join(terms, "+")
+	}
+	anyAligned := false
+	for d := range w.Subs {
+		if d >= len(r.Subs) {
+			break
+		}
+		wUses, wSig := usesFused(w.Subs[d])
+		rUses, rSig := usesFused(r.Subs[d])
+		switch {
+		case wUses && rUses:
+			if wSig != rSig {
+				return fmt.Sprintf("dimension %d uses the fused index with different structure (%s vs %s)", d, wSig, rSig)
+			}
+			anyAligned = true
+		case wUses != rUses:
+			return fmt.Sprintf("dimension %d uses the fused index on one side only", d)
+		}
+	}
+	if !anyAligned {
+		// No dimension ties the two sides to the same fused iteration: the
+		// consumer would see per-iteration intermediate states.
+		if w.Mode == Update || r.Mode == Update {
+			return "no dimension is indexed by the fused loop; accumulation order would be observable"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,156 @@
+package loopir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+func mkLoop(idx string, trip *expr.Expr, stmts ...*Stmt) *Loop {
+	body := make([]Node, len(stmts))
+	for i, s := range stmts {
+		body[i] = s
+	}
+	return &Loop{Index: idx, Trip: trip, Body: body}
+}
+
+func TestFusionHazardsAligned(t *testing.T) {
+	n := expr.Var("N")
+	arrays := []*Array{
+		{Name: "X", Dims: []*expr.Expr{n}},
+		{Name: "Y", Dims: []*expr.Expr{n}},
+	}
+	// for i { X[i]=0 } ; for i { Y[i] += X[i] }: aligned — safe.
+	a := mkLoop("i", n, &Stmt{Label: "S1", Refs: []Ref{
+		{Array: "X", Mode: Write, Subs: []Subscript{Idx("i")}},
+	}})
+	b := mkLoop("i", n, &Stmt{Label: "S2", Refs: []Ref{
+		{Array: "X", Mode: Read, Subs: []Subscript{Idx("i")}},
+		{Array: "Y", Mode: Update, Subs: []Subscript{Idx("i")}},
+	}})
+	nest, err := NewNest("ok", arrays, []Node{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := FusionHazards(nest, a, b); len(h) != 0 {
+		t.Fatalf("aligned fusion flagged: %v", h)
+	}
+}
+
+func TestFusionHazardsMisaligned(t *testing.T) {
+	n := expr.Var("N")
+	arrays := []*Array{
+		{Name: "X", Dims: []*expr.Expr{n, n}},
+		{Name: "Y", Dims: []*expr.Expr{n, n}},
+	}
+	// Writer uses X[i,j], reader uses X[j,i] (transposed): iteration i of
+	// the fused loop would read elements written by other iterations.
+	a := &Loop{Index: "i", Trip: n, Body: []Node{
+		&Loop{Index: "j", Trip: n, Body: []Node{
+			&Stmt{Label: "S1", Refs: []Ref{
+				{Array: "X", Mode: Write, Subs: []Subscript{Idx("i"), Idx("j")}},
+			}},
+		}},
+	}}
+	b := &Loop{Index: "i", Trip: n, Body: []Node{
+		&Loop{Index: "j2", Trip: n, Body: []Node{
+			&Stmt{Label: "S2", Refs: []Ref{
+				{Array: "X", Mode: Read, Subs: []Subscript{Idx("j2"), Idx("i")}},
+				{Array: "Y", Mode: Update, Subs: []Subscript{Idx("i"), Idx("j2")}},
+			}},
+		}},
+	}}
+	nest, err := NewNest("transposed", arrays, []Node{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := FusionHazards(nest, a, b)
+	if len(h) == 0 {
+		t.Fatal("transposed access not flagged")
+	}
+	if !strings.Contains(h[0], "X") {
+		t.Fatalf("hazard does not name the array: %v", h)
+	}
+}
+
+func TestFusionHazardsPartialAccumulation(t *testing.T) {
+	n := expr.Var("N")
+	arrays := []*Array{
+		{Name: "T", Dims: []*expr.Expr{expr.One()}},
+		{Name: "Y", Dims: []*expr.Expr{n}},
+		{Name: "X", Dims: []*expr.Expr{n}},
+	}
+	// for i { T += X[i] } ; for i { Y[i] += T }: fusing exposes prefix sums.
+	a := mkLoop("i", n, &Stmt{Label: "S1", Refs: []Ref{
+		{Array: "X", Mode: Read, Subs: []Subscript{Idx("i")}},
+		{Array: "T", Mode: Update, Subs: []Subscript{ConstIdx()}},
+	}})
+	b := mkLoop("i", n, &Stmt{Label: "S2", Refs: []Ref{
+		{Array: "T", Mode: Read, Subs: []Subscript{ConstIdx()}},
+		{Array: "Y", Mode: Update, Subs: []Subscript{Idx("i")}},
+	}})
+	nest, err := NewNest("prefix", arrays, []Node{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := FusionHazards(nest, a, b)
+	if len(h) == 0 {
+		t.Fatal("partial-accumulation hazard not flagged")
+	}
+	if !strings.Contains(strings.Join(h, " "), "accumulation") {
+		t.Fatalf("unexpected hazard text: %v", h)
+	}
+}
+
+func TestFusionHazardsNonSiblings(t *testing.T) {
+	n := expr.Var("N")
+	arrays := []*Array{{Name: "X", Dims: []*expr.Expr{n}}}
+	a := mkLoop("i", n, &Stmt{Refs: []Ref{{Array: "X", Mode: Write, Subs: []Subscript{Idx("i")}}}})
+	b := mkLoop("k", n, &Stmt{Refs: []Ref{{Array: "X", Mode: Read, Subs: []Subscript{Idx("k")}}}})
+	nest, err := NewNest("nf", arrays, []Node{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := FusionHazards(nest, a, b); len(h) == 0 {
+		t.Fatal("non-fusable loops not flagged")
+	}
+}
+
+// TestGeneratedTwoIndexFusionIsHazardFree: the nests GenLoopNest produces
+// for the two-index transform fuse without hazards at the outermost level
+// for the init/accumulate pair of the same tensor — the pairs FuseAdjacent
+// actually merges.
+func TestGeneratedFusionPairsHazardFree(t *testing.T) {
+	n := expr.Var("N")
+	arrays := []*Array{
+		{Name: "T1", Dims: []*expr.Expr{n, n}},
+		{Name: "A", Dims: []*expr.Expr{n, n}},
+		{Name: "C1", Dims: []*expr.Expr{n, n}},
+	}
+	init := &Loop{Index: "j", Trip: n, Body: []Node{
+		&Loop{Index: "m", Trip: n, Body: []Node{
+			&Stmt{Label: "S1", Refs: []Ref{
+				{Array: "T1", Mode: Write, Subs: []Subscript{Idx("j"), Idx("m")}},
+			}},
+		}},
+	}}
+	acc := &Loop{Index: "j", Trip: n, Body: []Node{
+		&Loop{Index: "m", Trip: n, Body: []Node{
+			&Loop{Index: "i", Trip: n, Body: []Node{
+				&Stmt{Label: "S2", Refs: []Ref{
+					{Array: "C1", Mode: Read, Subs: []Subscript{Idx("m"), Idx("i")}},
+					{Array: "A", Mode: Read, Subs: []Subscript{Idx("i"), Idx("j")}},
+					{Array: "T1", Mode: Update, Subs: []Subscript{Idx("j"), Idx("m")}},
+				}},
+			}},
+		}},
+	}}
+	nest, err := NewNest("gen", arrays, []Node{init, acc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := FusionHazards(nest, init, acc); len(h) != 0 {
+		t.Fatalf("init/accumulate pair flagged: %v", h)
+	}
+}

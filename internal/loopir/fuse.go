@@ -1,0 +1,63 @@
+package loopir
+
+// FuseAdjacent merges adjacent sibling loops that share an index name and a
+// trip count into one loop with the concatenated bodies, recursively — the
+// mechanical half of the TCE's loop fusion (Fig. 1 of the paper: the
+// producer's and consumer's common loops become one). It is legal for the
+// class handled here because the loops are fully permutable with no
+// fusion-preventing dependences (§2); storage contraction of the
+// intermediate is a separate step (see tce.GenFusedTransformChain).
+//
+// The input nest is not modified; a new nest is returned.
+func FuseAdjacent(n *Nest) (*Nest, error) {
+	var fuse func(nodes []Node) []Node
+	fuse = func(nodes []Node) []Node {
+		var out []Node
+		for _, nd := range nodes {
+			switch v := nd.(type) {
+			case *Stmt:
+				out = append(out, cloneStmt(v))
+			case *Loop:
+				body := fuse(v.Body)
+				if len(out) > 0 {
+					if prev, ok := out[len(out)-1].(*Loop); ok &&
+						prev.Index == v.Index && prev.Trip.Equal(v.Trip) {
+						prev.Body = append(prev.Body, body...)
+						// Re-fuse inside the merged body: the two bodies'
+						// boundary may now have adjacent fusable loops.
+						prev.Body = refuse(prev.Body)
+						continue
+					}
+				}
+				out = append(out, &Loop{Index: v.Index, Trip: v.Trip, Body: body})
+			}
+		}
+		return out
+	}
+	var arrays []*Array
+	for _, a := range n.Arrays {
+		arrays = append(arrays, a)
+	}
+	return NewNest(n.Name+"-fused", arrays, fuse(n.Root))
+}
+
+// refuse merges fusable adjacent loops in an already-fused node list (used
+// after concatenating two bodies).
+func refuse(nodes []Node) []Node {
+	var out []Node
+	for _, nd := range nodes {
+		if l, ok := nd.(*Loop); ok && len(out) > 0 {
+			if prev, pok := out[len(out)-1].(*Loop); pok &&
+				prev.Index == l.Index && prev.Trip.Equal(l.Trip) {
+				prev.Body = refuse(append(prev.Body, l.Body...))
+				continue
+			}
+		}
+		out = append(out, nd)
+	}
+	return out
+}
+
+// LoopCount returns the number of loop nodes in the nest — a simple
+// structural metric for fusion tests.
+func (n *Nest) LoopCount() int { return len(n.loops) }

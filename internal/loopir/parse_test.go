@@ -1,0 +1,180 @@
+package loopir
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+)
+
+const twoIndexText = `
+nest twoindex_text
+array A[NI, NJ]
+array B[NM, NN]
+array C1[NM, NI]
+array C2[NN, NJ]
+array T[TI, TN]
+
+# initialization of the output
+for mT = ceil(NM/TM) { for nT = ceil(NN/TN) {
+  for mI = TM { for nI = TN {
+    S2: B[mT*TM + mI, nT*TN + nI] = 0
+  } }
+} }
+
+for iT = ceil(NI/TI) {
+  for nT = ceil(NN/TN) {
+    for iI = TI { for nI = TN {
+      S5: T[iI, nI] = 0
+    } }
+    for jT = ceil(NJ/TJ) {
+      for iI = TI { for nI = TN { for jI = TJ {
+        S7: T[iI, nI] += A[iT*TI + iI, jT*TJ + jI] * C2[nT*TN + nI, jT*TJ + jI]
+      } } }
+    }
+    for mT = ceil(NM/TM) {
+      for iI = TI { for nI = TN { for mI = TM {
+        S9: B[mT*TM + mI, nT*TN + nI] += T[iI, nI] * C1[mT*TM + mI, iT*TI + iI]
+      } } }
+    }
+  }
+}
+`
+
+func TestParseTwoIndex(t *testing.T) {
+	nest, err := Parse(twoIndexText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nest.Name != "twoindex_text" {
+		t.Errorf("name %q", nest.Name)
+	}
+	if got := len(nest.Stmts()); got != 4 {
+		t.Fatalf("%d statements", got)
+	}
+	if got := len(nest.Arrays); got != 5 {
+		t.Fatalf("%d arrays", got)
+	}
+	s7 := nest.Stmts()[2]
+	if s7.Label != "S7" || len(s7.Refs) != 3 {
+		t.Fatalf("S7 = %+v", s7)
+	}
+	// Target is last, mode Update; reads first.
+	if s7.Refs[2].Array != "T" || s7.Refs[2].Mode != Update {
+		t.Errorf("S7 target %v", s7.Refs[2])
+	}
+	if s7.Refs[0].Array != "A" || s7.Refs[0].Mode != Read {
+		t.Errorf("S7 first read %v", s7.Refs[0])
+	}
+	// Tile-pair subscript survived.
+	a := s7.Refs[0]
+	if len(a.Subs[0].Terms) != 2 || a.Subs[0].Terms[0].Index != "iT" {
+		t.Errorf("A subscript %v", a.Subs[0])
+	}
+	if !a.Subs[0].Terms[0].Stride.Equal(expr.Var("TI")) {
+		t.Errorf("A stride %v", a.Subs[0].Terms[0].Stride)
+	}
+	// Flops annotated on accumulations.
+	if s7.Flops != 2 {
+		t.Errorf("S7 flops %d", s7.Flops)
+	}
+}
+
+func TestParseScalarRef(t *testing.T) {
+	src := `
+nest scalar
+array T[1]
+array A[N]
+for i = N {
+  S1: T[] = 0
+  S2: T[] += A[i]
+}
+`
+	nest, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := nest.Stmts()[0]
+	if len(s1.Refs[0].Subs) != 1 || len(s1.Refs[0].Subs[0].Terms) != 0 {
+		t.Fatalf("scalar subscript %v", s1.Refs[0].Subs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"array A[N]",                                        // no nest header
+		"nest x\nfor i = N { S1: A[i] = 0",                  // unterminated loop
+		"nest x\narray A[N]\nfor i = N { S1: A[i] = 1 } }",  // init must be 0
+		"nest x\narray A[N]\nfor i = N { S1: A[i] ** 0 } }", // bad operator
+		"nest x\narray A[N]\nS1: A[z] = 0",                  // out-of-scope index
+		"nest x\narray A[]\nfor i = N { S1: A[i] = 0 }",     // empty dims
+	}
+	for i, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d: parse accepted:\n%s", i, src)
+		}
+	}
+}
+
+func TestParseExpressionForms(t *testing.T) {
+	src := `
+nest exprs
+array A[2*N + 1]
+for i = ceil(N/4) {
+  for j = floor(N/2) {
+    S1: A[i*8 + j] = 0
+  }
+}
+`
+	nest, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nest.ValidateEnv(expr.Env{"N": 16}); err != nil {
+		t.Fatal(err)
+	}
+	l := nest.Loops()[0]
+	v, err := l.Trip.Eval(expr.Env{"N": 15})
+	if err != nil || v != 4 {
+		t.Fatalf("ceil trip %d %v", v, err)
+	}
+}
+
+// TestRoundTrip: Unparse then Parse must preserve the structure exactly —
+// verified by comparing the rendered canonical forms.
+func TestRoundTrip(t *testing.T) {
+	orig, err := Parse(twoIndexText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Unparse(orig)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text)
+	}
+	if got, want := back.String(), orig.String(); got != want {
+		t.Fatalf("round trip changed structure:\n--- original\n%s\n--- round-tripped\n%s", want, got)
+	}
+	// Unparse is stable (idempotent after one round).
+	if Unparse(back) != text {
+		t.Fatal("Unparse not stable across round trip")
+	}
+}
+
+func TestUnparseNegativeCoefficients(t *testing.T) {
+	n := expr.Var("N")
+	nest, err := NewNest("neg",
+		[]*Array{{Name: "A", Dims: []*expr.Expr{expr.Sub(expr.Mul(expr.Const(2), n), expr.One())}}},
+		[]Node{&Loop{Index: "i", Trip: expr.Sub(n, expr.One()), Body: []Node{
+			&Stmt{Label: "S1", Refs: []Ref{{Array: "A", Mode: Write, Subs: []Subscript{Idx("i")}}}},
+		}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(Unparse(nest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Loops()[0].Trip.Equal(expr.Sub(n, expr.One())) {
+		t.Fatalf("trip %s", back.Loops()[0].Trip)
+	}
+}

@@ -1,0 +1,80 @@
+package loopir
+
+import "fmt"
+
+// IsPerfect reports whether the nest is a single perfectly nested loop
+// chain with one statement, and returns the chain outermost-first.
+func (n *Nest) IsPerfect() ([]*Loop, *Stmt, bool) {
+	if len(n.Root) != 1 {
+		return nil, nil, false
+	}
+	var chain []*Loop
+	node := n.Root[0]
+	for {
+		switch v := node.(type) {
+		case *Loop:
+			if len(v.Body) != 1 {
+				return nil, nil, false
+			}
+			chain = append(chain, v)
+			node = v.Body[0]
+		case *Stmt:
+			return chain, v, true
+		default:
+			return nil, nil, false
+		}
+	}
+}
+
+// PermutePerfect returns a new nest with the loops of a perfect nest
+// reordered to the given index order (outermost first). All loops of the
+// nest must appear exactly once in order. The statement is cloned, so the
+// original nest is left untouched. For the fully permutable nests of the
+// paper's class (no loop-carried dependences other than reductions, which
+// are insensitive to order), every permutation computes the same result,
+// but their cache behaviour differs — which is exactly what the model
+// quantifies.
+func PermutePerfect(n *Nest, order []string) (*Nest, error) {
+	chain, stmt, ok := n.IsPerfect()
+	if !ok {
+		return nil, fmt.Errorf("loopir: %s is not a perfect nest", n.Name)
+	}
+	if len(order) != len(chain) {
+		return nil, fmt.Errorf("loopir: order names %d loops, nest has %d", len(order), len(chain))
+	}
+	byIndex := map[string]*Loop{}
+	for _, l := range chain {
+		byIndex[l.Index] = l
+	}
+	used := map[string]bool{}
+	var node Node = cloneStmt(stmt)
+	for i := len(order) - 1; i >= 0; i-- {
+		l, ok := byIndex[order[i]]
+		if !ok {
+			return nil, fmt.Errorf("loopir: unknown loop %s in permutation", order[i])
+		}
+		if used[order[i]] {
+			return nil, fmt.Errorf("loopir: loop %s repeated in permutation", order[i])
+		}
+		used[order[i]] = true
+		node = &Loop{Index: l.Index, Trip: l.Trip, Body: []Node{node}}
+	}
+	var arrays []*Array
+	for _, a := range n.Arrays {
+		arrays = append(arrays, a)
+	}
+	return NewNest(n.Name+"-perm", arrays, []Node{node})
+}
+
+func cloneStmt(s *Stmt) *Stmt {
+	out := &Stmt{Label: s.Label, Flops: s.Flops}
+	for _, r := range s.Refs {
+		nr := Ref{Array: r.Array, Mode: r.Mode}
+		for _, sub := range r.Subs {
+			ns := Subscript{Terms: append([]Term(nil), sub.Terms...)}
+			nr.Subs = append(nr.Subs, ns)
+		}
+		out.Refs = append(out.Refs, nr)
+	}
+	return out
+}

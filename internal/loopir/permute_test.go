@@ -1,0 +1,60 @@
+package loopir
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+)
+
+func TestIsPerfect(t *testing.T) {
+	nest := simpleMatmul(t)
+	chain, stmt, ok := nest.IsPerfect()
+	if !ok || len(chain) != 3 || stmt.Label != "S1" {
+		t.Fatalf("IsPerfect = %v/%v/%v", chain, stmt, ok)
+	}
+	// An imperfect nest is rejected.
+	n := expr.Var("N")
+	arrays := []*Array{{Name: "X", Dims: []*expr.Expr{n}}}
+	imp, err := NewNest("imp", arrays, []Node{
+		&Loop{Index: "i", Trip: n, Body: []Node{
+			&Stmt{Refs: []Ref{{Array: "X", Subs: []Subscript{Idx("i")}}}},
+			&Stmt{Refs: []Ref{{Array: "X", Subs: []Subscript{Idx("i")}}}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := imp.IsPerfect(); ok {
+		t.Fatal("imperfect nest reported perfect")
+	}
+}
+
+func TestPermutePerfect(t *testing.T) {
+	nest := simpleMatmul(t)
+	perm, err := PermutePerfect(nest, []string{"k", "i", "j"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops := perm.Loops()
+	if loops[0].Index != "k" || loops[1].Index != "i" || loops[2].Index != "j" {
+		t.Fatalf("order %v", []string{loops[0].Index, loops[1].Index, loops[2].Index})
+	}
+	// Original untouched.
+	if nest.Loops()[0].Index != "i" {
+		t.Fatal("original nest mutated")
+	}
+	// Statement cloned, refs intact.
+	if len(perm.Stmts()[0].Refs) != 3 {
+		t.Fatal("refs lost")
+	}
+	// Errors: wrong count, unknown, repeated.
+	if _, err := PermutePerfect(nest, []string{"i", "j"}); err == nil {
+		t.Error("short order accepted")
+	}
+	if _, err := PermutePerfect(nest, []string{"i", "j", "z"}); err == nil {
+		t.Error("unknown loop accepted")
+	}
+	if _, err := PermutePerfect(nest, []string{"i", "i", "j"}); err == nil {
+		t.Error("repeated loop accepted")
+	}
+}

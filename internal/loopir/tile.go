@@ -1,0 +1,112 @@
+package loopir
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// PerfectNestSpec describes a perfectly nested loop with a single statement,
+// the starting point of the tiling transformation. Indices are listed
+// outermost first.
+type PerfectNestSpec struct {
+	Name    string
+	Arrays  []*Array
+	Indices []string     // loop index names, outermost first
+	Trips   []*expr.Expr // trip count per index
+	Stmt    *Stmt        // the single innermost statement (IDs reassigned)
+}
+
+// BuildPerfect constructs the perfectly nested Nest described by the spec.
+func BuildPerfect(spec PerfectNestSpec) (*Nest, error) {
+	if len(spec.Indices) != len(spec.Trips) {
+		return nil, fmt.Errorf("loopir: %d indices but %d trips", len(spec.Indices), len(spec.Trips))
+	}
+	if len(spec.Indices) == 0 {
+		return nil, fmt.Errorf("loopir: perfect nest needs at least one loop")
+	}
+	var node Node = spec.Stmt
+	for i := len(spec.Indices) - 1; i >= 0; i-- {
+		node = &Loop{Index: spec.Indices[i], Trip: spec.Trips[i], Body: []Node{node}}
+	}
+	return NewNest(spec.Name, spec.Arrays, []Node{node})
+}
+
+// TileSpec names the tile-size symbol used for one index of a tiled nest.
+type TileSpec struct {
+	Index    string     // original loop index, e.g. "i"
+	TileVar  string     // tile size symbol, e.g. "TI"
+	TileIdx  string     // generated tile-loop index, e.g. "iT"
+	IntraIdx string     // generated intra-tile index, e.g. "iI"
+	Bound    *expr.Expr // original trip count N_i
+}
+
+// DefaultTileSpec derives conventional names: index "i" with bound N yields
+// tile variable "TI", tile loop "iT", intra loop "iI".
+func DefaultTileSpec(index string, bound *expr.Expr) TileSpec {
+	return TileSpec{
+		Index:    index,
+		TileVar:  "T" + upperCase(index),
+		TileIdx:  index + "T",
+		IntraIdx: index + "I",
+		Bound:    bound,
+	}
+}
+
+func upperCase(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if 'a' <= r && r <= 'z' {
+			r = r - 'a' + 'A'
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+// TilePerfect strip-mines every loop of a perfect nest and interchanges so
+// that all tile loops are outermost (in the original loop order), followed
+// by all intra-tile loops (also in original order): (i, j, k) becomes
+// (iT, jT, kT, iI, jI, kI). Each subscript index i is rewritten into the
+// tile pair iT*TI + iI. Trip counts assume the tile sizes divide the bounds
+// exactly (ceil-division is used so non-dividing sizes still execute, with
+// the usual partial-tile caveat documented by the model).
+func TilePerfect(spec PerfectNestSpec, tiles []TileSpec) (*Nest, error) {
+	if len(tiles) != len(spec.Indices) {
+		return nil, fmt.Errorf("loopir: %d tile specs for %d loops", len(tiles), len(spec.Indices))
+	}
+	byIndex := map[string]TileSpec{}
+	for i, t := range tiles {
+		if t.Index != spec.Indices[i] {
+			return nil, fmt.Errorf("loopir: tile spec %d is for %s, loop is %s", i, t.Index, spec.Indices[i])
+		}
+		byIndex[t.Index] = t
+	}
+	// Rewrite the statement's subscripts.
+	st := &Stmt{Label: spec.Stmt.Label, Flops: spec.Stmt.Flops}
+	for _, r := range spec.Stmt.Refs {
+		nr := Ref{Array: r.Array, Mode: r.Mode}
+		for _, sub := range r.Subs {
+			if len(sub.Terms) != 1 || sub.Terms[0].Stride != nil {
+				return nil, fmt.Errorf("loopir: TilePerfect requires plain single-index subscripts, got %v", sub)
+			}
+			t := byIndex[sub.Terms[0].Index]
+			nr.Subs = append(nr.Subs, TilePair(t.TileIdx, expr.Var(t.TileVar), t.IntraIdx))
+		}
+		st.Refs = append(st.Refs, nr)
+	}
+	var node Node = st
+	for i := len(tiles) - 1; i >= 0; i-- {
+		t := tiles[i]
+		node = &Loop{Index: t.IntraIdx, Trip: expr.Var(t.TileVar), Body: []Node{node}}
+	}
+	for i := len(tiles) - 1; i >= 0; i-- {
+		t := tiles[i]
+		node = &Loop{
+			Index: t.TileIdx,
+			Trip:  expr.CeilDiv(t.Bound, expr.Var(t.TileVar)),
+			Body:  []Node{node},
+		}
+	}
+	return NewNest(spec.Name+"-tiled", spec.Arrays, []Node{node})
+}

@@ -1,0 +1,220 @@
+// Package nestgen generates random loop nests within the model's supported
+// class, for property-based testing and stress measurement. Generated nests
+// are always valid (they pass loopir validation and core.Analyze's class
+// check) and come with an environment binding every symbol to small
+// concrete values, so they can be traced exactly.
+package nestgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/expr"
+	"repro/internal/loopir"
+)
+
+// Config bounds the generated shapes.
+type Config struct {
+	MaxDepth    int // maximum loop depth of any statement (default 4)
+	MaxBranches int // maximum sibling branches under the outer loop (default 3)
+	MaxArrays   int // maximum distinct arrays (default 4)
+	MaxTrip     int // maximum concrete trip count per loop (default 6)
+	MinTrip     int // minimum concrete trip count per loop (default 2)
+	// Imperfect selects tree-shaped nests with multiple statements and
+	// shared arrays; otherwise a perfect single-statement nest.
+	Imperfect bool
+	// Tiled strip-mines every loop of a perfect nest (tile-pair
+	// subscripts), exercising the model's composite-index machinery.
+	// Ignored when Imperfect is set.
+	Tiled bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 4
+	}
+	if c.MaxBranches == 0 {
+		c.MaxBranches = 3
+	}
+	if c.MaxArrays == 0 {
+		c.MaxArrays = 4
+	}
+	if c.MaxTrip == 0 {
+		c.MaxTrip = 6
+	}
+	if c.MinTrip == 0 {
+		c.MinTrip = 2
+	}
+	return c
+}
+
+// Generate builds a random nest and its evaluation environment.
+func Generate(r *rand.Rand, id int, cfg Config) (*loopir.Nest, expr.Env, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Imperfect {
+		return genImperfect(r, id, cfg)
+	}
+	if cfg.Tiled {
+		return genTiled(r, id, cfg)
+	}
+	return genPerfect(r, id, cfg)
+}
+
+// genTiled builds a random perfect nest and strip-mines every loop with a
+// random tile size dividing its bound.
+func genTiled(r *rand.Rand, id int, cfg Config) (*loopir.Nest, expr.Env, error) {
+	nLoops := 2 + r.Intn(2) // 2–3 original loops → 4–6 tiled loops
+	env := expr.Env{}
+	idxNames := make([]string, nLoops)
+	trips := make([]*expr.Expr, nLoops)
+	tileSpecs := make([]loopir.TileSpec, nLoops)
+	for i := range idxNames {
+		idxNames[i] = fmt.Sprintf("x%d", i)
+		sym := fmt.Sprintf("N%d", i)
+		// Keep trips out of the degenerate regime: with tiles of 2 every
+		// instance is a boundary instance and the paper's generic-position
+		// representative loses meaning.
+		tile := int64(3 + r.Intn(3))  // 3..5
+		mult := int64(3 + r.Intn(2))  // 3..4
+		env[sym] = tile * mult        // bound divisible by tile
+		env["T"+fmt.Sprint(i)] = tile // bound tile symbol below
+		trips[i] = expr.Var(sym)
+		tileSpecs[i] = loopir.TileSpec{
+			Index:    idxNames[i],
+			TileVar:  "T" + fmt.Sprint(i),
+			TileIdx:  idxNames[i] + "T",
+			IntraIdx: idxNames[i] + "I",
+			Bound:    trips[i],
+		}
+	}
+	nArr := 1 + r.Intn(cfg.MaxArrays)
+	var arrays []*loopir.Array
+	stmt := &loopir.Stmt{Label: "S1"}
+	for ai := 0; ai < nArr; ai++ {
+		name := fmt.Sprintf("A%d", ai)
+		nd := 1 + r.Intn(2)
+		perm := r.Perm(nLoops)
+		var dims []*expr.Expr
+		var subs []loopir.Subscript
+		for d := 0; d < nd && d < len(perm); d++ {
+			dims = append(dims, trips[perm[d]])
+			subs = append(subs, loopir.Idx(idxNames[perm[d]]))
+		}
+		arrays = append(arrays, &loopir.Array{Name: name, Dims: dims})
+		mode := loopir.Read
+		if ai == 0 {
+			mode = loopir.Update
+		}
+		stmt.Refs = append(stmt.Refs, loopir.Ref{Array: name, Mode: mode, Subs: subs})
+	}
+	spec := loopir.PerfectNestSpec{
+		Name:    fmt.Sprintf("gen_tiled_%d", id),
+		Arrays:  arrays,
+		Indices: idxNames,
+		Trips:   trips,
+		Stmt:    stmt,
+	}
+	nest, err := loopir.TilePerfect(spec, tileSpecs)
+	return nest, env, err
+}
+
+func genPerfect(r *rand.Rand, id int, cfg Config) (*loopir.Nest, expr.Env, error) {
+	nLoops := 2 + r.Intn(cfg.MaxDepth-1)
+	env := expr.Env{}
+	idxNames := make([]string, nLoops)
+	trips := make([]*expr.Expr, nLoops)
+	for i := range idxNames {
+		idxNames[i] = fmt.Sprintf("i%d", i)
+		sym := fmt.Sprintf("N%d", i)
+		env[sym] = int64(cfg.MinTrip + r.Intn(cfg.MaxTrip-cfg.MinTrip+1))
+		trips[i] = expr.Var(sym)
+	}
+	nArr := 1 + r.Intn(cfg.MaxArrays)
+	var arrays []*loopir.Array
+	stmt := &loopir.Stmt{Label: "S1"}
+	for ai := 0; ai < nArr; ai++ {
+		name := fmt.Sprintf("A%d", ai)
+		nd := 1 + r.Intn(2)
+		perm := r.Perm(nLoops)
+		var dims []*expr.Expr
+		var subs []loopir.Subscript
+		for d := 0; d < nd && d < len(perm); d++ {
+			dims = append(dims, trips[perm[d]])
+			subs = append(subs, loopir.Idx(idxNames[perm[d]]))
+		}
+		arrays = append(arrays, &loopir.Array{Name: name, Dims: dims})
+		mode := loopir.Read
+		if ai == 0 {
+			// Exactly one written reference per statement keeps generated
+			// nests expressible in the textual format and executable.
+			mode = loopir.Update
+		}
+		stmt.Refs = append(stmt.Refs, loopir.Ref{Array: name, Mode: mode, Subs: subs})
+	}
+	nest, err := loopir.BuildPerfect(loopir.PerfectNestSpec{
+		Name:    fmt.Sprintf("gen-perfect-%d", id),
+		Arrays:  arrays,
+		Indices: idxNames,
+		Trips:   trips,
+		Stmt:    stmt,
+	})
+	return nest, env, err
+}
+
+func genImperfect(r *rand.Rand, id int, cfg Config) (*loopir.Nest, expr.Env, error) {
+	env := expr.Env{}
+	mkTrip := func(name string) *expr.Expr {
+		sym := "N" + name
+		if _, ok := env[sym]; !ok {
+			env[sym] = int64(cfg.MinTrip + r.Intn(cfg.MaxTrip-cfg.MinTrip+1))
+		}
+		return expr.Var(sym)
+	}
+	outerIdx := "o"
+	outerTrip := mkTrip("o")
+
+	arrays := []*loopir.Array{{Name: "S", Dims: []*expr.Expr{outerTrip}}}
+	var branches []loopir.Node
+	nBranches := 2 + r.Intn(cfg.MaxBranches-1)
+	for bi := 0; bi < nBranches; bi++ {
+		depth := 1 + r.Intn(cfg.MaxDepth-1)
+		var idxs []string
+		var trips []*expr.Expr
+		for d := 0; d < depth; d++ {
+			idx := fmt.Sprintf("b%d_%d", bi, d)
+			idxs = append(idxs, idx)
+			trips = append(trips, mkTrip(idx))
+		}
+		aname := fmt.Sprintf("A%d", bi)
+		// Random subscript structure over {outer} ∪ branch loops.
+		avail := append([]string{outerIdx}, idxs...)
+		availTrips := append([]*expr.Expr{outerTrip}, trips...)
+		nd := 1 + r.Intn(2)
+		perm := r.Perm(len(avail))
+		var dims []*expr.Expr
+		var subs []loopir.Subscript
+		for d := 0; d < nd; d++ {
+			dims = append(dims, availTrips[perm[d]])
+			subs = append(subs, loopir.Idx(avail[perm[d]]))
+		}
+		arrays = append(arrays, &loopir.Array{Name: aname, Dims: dims})
+		var refs []loopir.Ref
+		if r.Intn(2) == 0 {
+			refs = []loopir.Ref{
+				{Array: aname, Mode: loopir.Read, Subs: subs},
+				{Array: "S", Mode: loopir.Update, Subs: []loopir.Subscript{loopir.Idx(outerIdx)}},
+			}
+		} else {
+			// No shared-array access: the branch array itself is written.
+			refs = []loopir.Ref{{Array: aname, Mode: loopir.Update, Subs: subs}}
+		}
+		var node loopir.Node = &loopir.Stmt{Label: fmt.Sprintf("S%d", bi+1), Refs: refs}
+		for d := depth - 1; d >= 0; d-- {
+			node = &loopir.Loop{Index: idxs[d], Trip: trips[d], Body: []loopir.Node{node}}
+		}
+		branches = append(branches, node)
+	}
+	root := []loopir.Node{&loopir.Loop{Index: outerIdx, Trip: outerTrip, Body: branches}}
+	nest, err := loopir.NewNest(fmt.Sprintf("gen-imperfect-%d", id), arrays, root)
+	return nest, env, err
+}

@@ -1,0 +1,89 @@
+package smp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+)
+
+func TestRunParallelMatmulCorrect(t *testing.T) {
+	const n = 32
+	a, b := kernels.NewMatrix(n, n), kernels.NewMatrix(n, n)
+	a.FillSequential(0.3)
+	b.FillSequential(0.7)
+	want := kernels.NewMatrix(n, n)
+	if err := kernels.MatmulNaive(a, b, want); err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{1, 2, 4} {
+		c := kernels.NewMatrix(n, n)
+		if err := RunParallelMatmul(a, b, c, 8, 8, 8, procs); err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if d := kernels.MaxAbsDiff(want, c); d > 1e-9 {
+			t.Errorf("procs=%d deviates by %g", procs, d)
+		}
+	}
+	c := kernels.NewMatrix(n, n)
+	if err := RunParallelMatmul(a, b, c, 8, 8, 8, 3); err == nil {
+		t.Error("3 procs should not divide 4 row tiles")
+	}
+	if err := RunParallelMatmul(a, b, c, 8, 8, 8, 0); err == nil {
+		t.Error("0 procs accepted")
+	}
+}
+
+// TestMatmulRowPartitionPrediction: §7's claim for Fig. 9 — each
+// processor's subproblem is the sequential problem with NI scaled by 1/P,
+// touching a row slice of A and C and all of B.
+func TestMatmulRowPartitionPrediction(t *testing.T) {
+	nest, err := kernels.TiledMatmulDims()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := kernels.MatmulDimsEnv(64, 64, 64, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{SplitSymbol: "NI", CacheElems: 512, Model: DefaultCostModel()}
+	var prev *Prediction
+	for _, p := range []int64{1, 2, 4} {
+		cfg.Procs = p
+		pred, err := Predict(a, env, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Flops scale exactly 1/P.
+		if pred.PerProcFlops*p != 2*64*64*64 {
+			t.Errorf("P=%d per-proc flops %d", p, pred.PerProcFlops)
+		}
+		// Per-processor compulsory floor: slice of A and C plus all of B.
+		if prev != nil && pred.PerProcMisses >= prev.PerProcMisses {
+			t.Errorf("P=%d per-proc misses %d not below P=%d's %d",
+				p, pred.PerProcMisses, prev.Procs, prev.PerProcMisses)
+		}
+		prev = pred
+	}
+	// Simulation agrees with the model at P=2.
+	cfg.Procs = 2
+	pm, err := Predict(a, env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := Simulate(nest, env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := pm.PerProcMisses - ps.PerProcMisses
+	if d < 0 {
+		d = -d
+	}
+	if d > ps.PerProcMisses/5+3*64*64 {
+		t.Errorf("predicted %d vs simulated %d per-proc misses", pm.PerProcMisses, ps.PerProcMisses)
+	}
+}

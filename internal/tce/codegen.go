@@ -1,0 +1,95 @@
+package tce
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/loopir"
+)
+
+// GenLoopNest lowers a pairwise-contraction sequence to a loopir program:
+// for each step, an initialization nest over the output's indices followed
+// by an accumulation nest over output + summation indices (summation
+// innermost). The overall program is imperfectly nested and lies in the
+// class the cache model analyzes (every subscript is one loop index).
+//
+// Loop index names are the tensor index labels; steps sharing labels share
+// names (their ranges are identical), which the IR permits for sibling
+// nests.
+func GenLoopNest(name string, steps []BinaryStep, r IndexRanges) (*loopir.Nest, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("tce: empty step sequence")
+	}
+	arrays := map[string]*loopir.Array{}
+	declare := func(t Tensor) error {
+		if len(t.Indices) == 0 {
+			return fmt.Errorf("tce: scalar tensor %s needs the fused generator", t.Name)
+		}
+		dims := make([]*expr.Expr, len(t.Indices))
+		for i, ix := range t.Indices {
+			rng, ok := r[ix]
+			if !ok {
+				return fmt.Errorf("tce: index %s of %s has no range", ix, t)
+			}
+			dims[i] = rng
+		}
+		if prev, ok := arrays[t.Name]; ok {
+			if len(prev.Dims) != len(dims) {
+				return fmt.Errorf("tce: tensor %s redeclared with different rank", t.Name)
+			}
+			return nil
+		}
+		arrays[t.Name] = &loopir.Array{Name: t.Name, Dims: dims}
+		return nil
+	}
+
+	var root []loopir.Node
+	stmtNo := 0
+	for _, st := range steps {
+		if st.In1.Name == st.In2.Name {
+			return nil, fmt.Errorf("tce: step %s references %s twice (outside the model class)", st.Out, st.In1.Name)
+		}
+		for _, t := range []Tensor{st.Out, st.In1, st.In2} {
+			if err := declare(t); err != nil {
+				return nil, err
+			}
+		}
+		ref := func(t Tensor, mode loopir.AccessMode) loopir.Ref {
+			subs := make([]loopir.Subscript, len(t.Indices))
+			for i, ix := range t.Indices {
+				subs[i] = loopir.Idx(ix)
+			}
+			return loopir.Ref{Array: t.Name, Mode: mode, Subs: subs}
+		}
+		nestLoops := func(indices []string, inner loopir.Node) loopir.Node {
+			node := inner
+			for i := len(indices) - 1; i >= 0; i-- {
+				node = &loopir.Loop{Index: indices[i], Trip: r[indices[i]], Body: []loopir.Node{node}}
+			}
+			return node
+		}
+		stmtNo++
+		init := &loopir.Stmt{
+			Label: fmt.Sprintf("S%d", stmtNo),
+			Refs:  []loopir.Ref{ref(st.Out, loopir.Write)},
+		}
+		root = append(root, nestLoops(st.Out.Indices, init))
+		stmtNo++
+		acc := &loopir.Stmt{
+			Label: fmt.Sprintf("S%d", stmtNo),
+			Flops: 2,
+			Refs: []loopir.Ref{
+				ref(st.In1, loopir.Read),
+				ref(st.In2, loopir.Read),
+				ref(st.Out, loopir.Update),
+			},
+		}
+		all := append(append([]string(nil), st.Out.Indices...), st.SumIndices...)
+		root = append(root, nestLoops(all, acc))
+	}
+	var decls []*loopir.Array
+	for _, a := range arrays {
+		decls = append(decls, a)
+	}
+	return loopir.NewNest(name, decls, root)
+}

@@ -1,0 +1,252 @@
+package tce
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/expr"
+)
+
+// OpTree is a binarized evaluation plan for a multi-tensor contraction:
+// leaves are input tensors, internal nodes are pairwise contractions
+// producing intermediates.
+type OpTree struct {
+	Tensor Tensor  // the tensor this node produces
+	Left   *OpTree // nil for leaves
+	Right  *OpTree
+	// StepFlops is the symbolic operation count of this node's pairwise
+	// contraction (zero for leaves).
+	StepFlops *expr.Expr
+}
+
+// BinaryStep is one pairwise contraction of the flattened plan.
+type BinaryStep struct {
+	Out, In1, In2 Tensor
+	SumIndices    []string
+}
+
+// OpMin binarizes the contraction into the pairwise evaluation order with
+// the minimum total operation count, using dynamic programming over input
+// subsets. Costs are compared numerically under rankEnv (representative
+// index-range values); the returned tree carries exact symbolic per-step
+// counts. Intermediates are named T1, T2, … in evaluation order.
+func OpMin(c Contraction, r IndexRanges, rankEnv expr.Env) (*OpTree, error) {
+	if err := c.Validate(r); err != nil {
+		return nil, err
+	}
+	k := len(c.Inputs)
+	if k > 16 {
+		return nil, fmt.Errorf("tce: %d inputs exceed the subset-DP limit", k)
+	}
+	// Index occurrence counts outside each subset determine intermediate
+	// shapes: an index survives a subset's contraction if it appears in the
+	// result or in an input outside the subset.
+	inResult := map[string]bool{}
+	for _, ix := range c.Result.Indices {
+		inResult[ix] = true
+	}
+	occ := map[string]int{}
+	for _, in := range c.Inputs {
+		for _, ix := range in.Indices {
+			occ[ix]++
+		}
+	}
+	idxOf := func(mask int) map[string]int {
+		m := map[string]int{}
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) != 0 {
+				for _, ix := range c.Inputs[i].Indices {
+					m[ix]++
+				}
+			}
+		}
+		return m
+	}
+	liveOf := func(mask int) []string {
+		inside := idxOf(mask)
+		var live []string
+		for ix, n := range inside {
+			if inResult[ix] || occ[ix] > n {
+				live = append(live, ix)
+			}
+		}
+		sort.Strings(live)
+		return live
+	}
+	rangeVal := func(ix string) (float64, error) {
+		v, err := r[ix].Eval(rankEnv)
+		if err != nil {
+			return 0, err
+		}
+		return float64(v), nil
+	}
+
+	type entry struct {
+		cost  float64
+		split int // left-subset mask; 0 for leaves
+	}
+	full := 1<<k - 1
+	dp := make([]entry, full+1)
+	for m := range dp {
+		dp[m].cost = math.Inf(1)
+	}
+	for i := 0; i < k; i++ {
+		dp[1<<i] = entry{cost: 0}
+	}
+	// Enumerate subsets in increasing popcount order.
+	masks := make([]int, 0, full)
+	for m := 1; m <= full; m++ {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(a, b int) bool {
+		return bits.OnesCount(uint(masks[a])) < bits.OnesCount(uint(masks[b]))
+	})
+	stepCost := func(l, rm int) (float64, error) {
+		// Contracting X(live(l)) with Y(live(r)): 2 flops per point of the
+		// union index space.
+		union := map[string]bool{}
+		for _, ix := range liveOf(l) {
+			union[ix] = true
+		}
+		for _, ix := range liveOf(rm) {
+			union[ix] = true
+		}
+		cost := 2.0
+		for ix := range union {
+			v, err := rangeVal(ix)
+			if err != nil {
+				return 0, err
+			}
+			cost *= v
+		}
+		return cost, nil
+	}
+	for _, m := range masks {
+		if bits.OnesCount(uint(m)) < 2 {
+			continue
+		}
+		// Iterate proper submasks; to halve work require lowest set bit in l.
+		low := m & (-m)
+		for l := (m - 1) & m; l > 0; l = (l - 1) & m {
+			if l&low == 0 {
+				continue
+			}
+			rm := m ^ l
+			sc, err := stepCost(l, rm)
+			if err != nil {
+				return nil, err
+			}
+			cost := dp[l].cost + dp[rm].cost + sc
+			if cost < dp[m].cost {
+				dp[m] = entry{cost: cost, split: l}
+			}
+		}
+	}
+
+	// Reconstruct the tree, naming intermediates in evaluation order.
+	nextID := 0
+	var build func(mask int) *OpTree
+	build = func(mask int) *OpTree {
+		if bits.OnesCount(uint(mask)) == 1 {
+			return &OpTree{Tensor: c.Inputs[bits.TrailingZeros(uint(mask))], StepFlops: expr.Zero()}
+		}
+		l := dp[mask].split
+		rm := mask ^ l
+		left := build(l)
+		right := build(rm)
+		nextID++
+		name := fmt.Sprintf("T%d", nextID)
+		live := liveOf(mask)
+		if mask == full {
+			name = c.Result.Name
+			live = append([]string(nil), c.Result.Indices...)
+		}
+		// Symbolic step flops: 2 · Π over the union of operand indices.
+		union := map[string]bool{}
+		for _, ix := range left.Tensor.Indices {
+			union[ix] = true
+		}
+		for _, ix := range right.Tensor.Indices {
+			union[ix] = true
+		}
+		flops := expr.Const(2)
+		ordered := make([]string, 0, len(union))
+		for ix := range union {
+			ordered = append(ordered, ix)
+		}
+		sort.Strings(ordered)
+		for _, ix := range ordered {
+			flops = expr.Mul(flops, r[ix])
+		}
+		return &OpTree{
+			Tensor:    Tensor{Name: name, Indices: live},
+			Left:      left,
+			Right:     right,
+			StepFlops: flops,
+		}
+	}
+	return build(full), nil
+}
+
+// TotalFlops returns the symbolic total operation count of the plan.
+func (t *OpTree) TotalFlops() *expr.Expr {
+	if t == nil || t.Left == nil {
+		return expr.Zero()
+	}
+	return expr.Add(t.StepFlops, t.Left.TotalFlops(), t.Right.TotalFlops())
+}
+
+// Sequence flattens the tree into evaluation order (post-order).
+func (t *OpTree) Sequence() []BinaryStep {
+	var out []BinaryStep
+	var walk func(n *OpTree)
+	walk = func(n *OpTree) {
+		if n == nil || n.Left == nil {
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+		out = append(out, BinaryStep{
+			Out:        n.Tensor,
+			In1:        n.Left.Tensor,
+			In2:        n.Right.Tensor,
+			SumIndices: sumIndicesOf(n),
+		})
+	}
+	walk(t)
+	return out
+}
+
+func sumIndicesOf(n *OpTree) []string {
+	keep := map[string]bool{}
+	for _, ix := range n.Tensor.Indices {
+		keep[ix] = true
+	}
+	set := map[string]bool{}
+	for _, ix := range n.Left.Tensor.Indices {
+		if !keep[ix] {
+			set[ix] = true
+		}
+	}
+	for _, ix := range n.Right.Tensor.Indices {
+		if !keep[ix] {
+			set[ix] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for ix := range set {
+		out = append(out, ix)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the plan as nested parentheses with per-step shapes.
+func (t *OpTree) String() string {
+	if t.Left == nil {
+		return t.Tensor.String()
+	}
+	return fmt.Sprintf("(%s × %s → %s)", t.Left, t.Right, t.Tensor)
+}

@@ -1,0 +1,66 @@
+package tilesearch
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Exhaustive evaluates every tile assignment over the full divisor grid
+// (all divisors of DivisorOf up to each dimension's Max; all powers of two
+// when DivisorOf is zero) and returns the true optimum over that grid. It
+// exists as the baseline the §6 search is measured against: the search must
+// match its result while evaluating fewer points.
+func Exhaustive(a *core.Analysis, opt Options) (*Result, error) {
+	if len(opt.Dims) == 0 {
+		return nil, fmt.Errorf("tilesearch: no dimensions to search")
+	}
+	if opt.MinTile <= 0 {
+		opt.MinTile = 1
+	}
+	ev := &evaluator{a: a, opt: opt, cache: map[string]Candidate{}}
+	grid := make([][]int64, len(opt.Dims))
+	for i, d := range opt.Dims {
+		if opt.DivisorOf != 0 {
+			for s := opt.MinTile; s <= d.Max; s++ {
+				if opt.DivisorOf%s == 0 {
+					grid[i] = append(grid[i], s)
+				}
+			}
+		} else {
+			for s := opt.MinTile; s <= d.Max; s *= 2 {
+				grid[i] = append(grid[i], s)
+			}
+		}
+		if len(grid[i]) == 0 {
+			return nil, fmt.Errorf("tilesearch: empty grid for %s", d.Symbol)
+		}
+	}
+	assign := map[string]int64{}
+	var best *Candidate
+	var sweep func(i int) error
+	sweep = func(i int) error {
+		if i == len(opt.Dims) {
+			c, err := ev.eval(assign)
+			if err != nil {
+				return err
+			}
+			if best == nil || c.Misses < best.Misses {
+				cc := c
+				best = &cc
+			}
+			return nil
+		}
+		for _, s := range grid[i] {
+			assign[opt.Dims[i].Symbol] = s
+			if err := sweep(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := sweep(0); err != nil {
+		return nil, err
+	}
+	return &Result{Best: *best, Evaluated: len(ev.cache)}, nil
+}

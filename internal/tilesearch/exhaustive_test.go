@@ -1,0 +1,67 @@
+package tilesearch
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// TestSearchMatchesExhaustive: on the tiled matmul the §6 search must find
+// a tile at least as good as the full divisor-grid optimum, with fewer
+// model evaluations.
+func TestSearchMatchesExhaustive(t *testing.T) {
+	a := analyzedMatmul(t)
+	const n = 64
+	const cache = 512
+	opt := Options{
+		Dims:       matmulDims(n),
+		CacheElems: cache,
+		BaseEnv:    expr.Env{"N": n},
+		DivisorOf:  n,
+	}
+	search, err := Search(a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exOpt := opt
+	exOpt.MinTile = 2
+	ex, err := Exhaustive(a, exOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if search.Best.Misses > ex.Best.Misses {
+		t.Errorf("search best %v worse than exhaustive %v", search.Best, ex.Best)
+	}
+	if search.Evaluated >= ex.Evaluated {
+		t.Errorf("search evaluated %d points, exhaustive %d — no pruning benefit",
+			search.Evaluated, ex.Evaluated)
+	}
+}
+
+func TestExhaustivePowerOfTwoGrid(t *testing.T) {
+	a := analyzedMatmul(t)
+	opt := Options{
+		Dims:       matmulDims(32),
+		CacheElems: 256,
+		BaseEnv:    expr.Env{"N": 32},
+		MinTile:    4,
+	}
+	res, err := Exhaustive(a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grid: {4,8,16,32}^3 = 64 points.
+	if res.Evaluated != 64 {
+		t.Errorf("evaluated %d, want 64", res.Evaluated)
+	}
+	if res.Best.Misses <= 0 {
+		t.Errorf("best %v", res.Best)
+	}
+}
+
+func TestExhaustiveValidation(t *testing.T) {
+	a := analyzedMatmul(t)
+	if _, err := Exhaustive(a, Options{}); err == nil {
+		t.Fatal("empty dims accepted")
+	}
+}

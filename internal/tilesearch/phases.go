@@ -1,0 +1,120 @@
+package tilesearch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+)
+
+// §6 of the paper divides the behaviour of the miss count as tiles grow
+// into four phases, delimited by the tile sizes at which individual stack
+// distances cross the cache capacity. KneeAnalysis makes those transition
+// points explicit: for each stack-distance expression and each tile
+// dimension, the largest tile value (with the other dimensions held fixed)
+// for which the distance still fits in the cache. Only tile sizes just
+// below a knee are candidate optima — the pruning insight behind the
+// search.
+
+// Knee records one crossing point.
+type Knee struct {
+	SD        core.LinForm // the stack distance expression
+	Dim       string       // the tile dimension being grown
+	LastFit   int64        // largest value of Dim with SD <= cache (0 = never fits)
+	AlwaysFit bool         // SD never exceeds the cache within the range
+}
+
+// KneeAnalysis computes, for every distinct stack-distance expression of
+// the analysis, the crossing point along each tile dimension, holding the
+// other dimensions at the values in base.
+func KneeAnalysis(a *core.Analysis, base expr.Env, dims []Dim, cacheElems int64) ([]Knee, error) {
+	var out []Knee
+	for _, sd := range a.StackDistances(nil) {
+		for _, d := range dims {
+			k := Knee{SD: sd, Dim: d.Symbol}
+			// The SD may not mention this dimension at all.
+			vars := map[string]bool{}
+			sd.Base.Vars(vars)
+			if sd.Slope != nil {
+				sd.Slope.Vars(vars)
+			}
+			if !vars[d.Symbol] {
+				continue
+			}
+			lastFit := int64(0)
+			alwaysFit := true
+			for v := int64(1); v <= d.Max; v++ {
+				env := expr.Env{}
+				for kk, vv := range base {
+					env[kk] = vv
+				}
+				env[d.Symbol] = v
+				val, err := maxSD(sd, env)
+				if err != nil {
+					return nil, err
+				}
+				if val <= cacheElems {
+					lastFit = v
+				} else {
+					alwaysFit = false
+				}
+			}
+			k.LastFit = lastFit
+			k.AlwaysFit = alwaysFit
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dim != out[j].Dim {
+			return out[i].Dim < out[j].Dim
+		}
+		return out[i].LastFit < out[j].LastFit
+	})
+	return out, nil
+}
+
+// maxSD evaluates the largest value a (possibly position-dependent) stack
+// distance takes under env.
+func maxSD(sd core.LinForm, env expr.Env) (int64, error) {
+	base, err := sd.Base.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	if sd.IsConst() {
+		return base, nil
+	}
+	slope, err := sd.Slope.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	// The free variable's range is not tracked here; bound it by the
+	// largest bound-ish symbol in env for a conservative maximum.
+	var maxSym int64 = 1
+	for _, v := range env {
+		if v > maxSym {
+			maxSym = v
+		}
+	}
+	if slope > 0 {
+		return base + slope*(maxSym-1), nil
+	}
+	return base, nil
+}
+
+// FormatKnees renders the knee table.
+func FormatKnees(knees []Knee) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-10s %s\n", "dim", "last-fit", "stack distance")
+	for _, k := range knees {
+		fit := fmt.Sprint(k.LastFit)
+		if k.AlwaysFit {
+			fit = "all"
+		} else if k.LastFit == 0 {
+			fit = "never"
+		}
+		fmt.Fprintf(&b, "%-6s %-10s %s\n", k.Dim, fit, k.SD)
+	}
+	return b.String()
+}

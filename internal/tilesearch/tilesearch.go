@@ -1,0 +1,328 @@
+// Package tilesearch implements the paper's §6 tile-size search: an
+// intelligent search over tile-size space driven by the symbolic
+// stack-distance expressions of the cache model, rather than exhaustive
+// enumeration or empirical trial runs.
+//
+// The search exploits the four-phase structure of the miss count as a
+// function of tile size: misses decrease monotonically as tiles grow until
+// some stack distance crosses the cache capacity, at which point they jump.
+// Only "frontier" tile sizes — those that cannot be increased in any
+// dimension without an additional stack distance exceeding the cache — can
+// be optimal, so the search (1) sweeps a coarse grid, (2) keeps the
+// frontier, (3) refines around it with halved steps, and (4) prunes
+// dominated candidates.
+//
+// When loop bounds are unknown at compile time (the paper's Table 4), the
+// search scores candidates using only the stack-distance expressions that do
+// not mention the bound symbols, evaluated with a large surrogate bound.
+package tilesearch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+)
+
+// Dim describes one tunable tile dimension.
+type Dim struct {
+	Symbol string // tile-size symbol, e.g. "TI"
+	Max    int64  // largest size to consider (typically the loop bound)
+}
+
+// Options configures a search.
+type Options struct {
+	// Dims are the tile dimensions to tune.
+	Dims []Dim
+	// CacheElems is the cache capacity in elements.
+	CacheElems int64
+	// BaseEnv binds every non-tile symbol (loop bounds). In unknown-bounds
+	// mode these are surrogate values.
+	BaseEnv expr.Env
+	// CoarseStep is the initial grid step factor; tile sizes sweep powers
+	// of two from MinTile to Dim.Max. MinTile defaults to 4.
+	MinTile int64
+	// UnknownBounds, when set, restricts scoring to components whose
+	// stack-distance expressions avoid these symbols (the loop bounds),
+	// reproducing the paper's compile-time search with symbolic bounds.
+	UnknownBounds map[string]bool
+	// DivisorOf, when non-zero, restricts tile sizes to divisors of this
+	// value (exact tiling). Defaults to requiring power-of-two sizes only.
+	DivisorOf int64
+}
+
+// Candidate is one evaluated tile assignment.
+type Candidate struct {
+	Tiles  map[string]int64
+	Misses int64
+}
+
+// Result reports the search outcome.
+type Result struct {
+	Best      Candidate
+	Frontier  []Candidate // frontier candidates from the coarse phase
+	Evaluated int         // total model evaluations performed
+}
+
+// Search runs the §6 algorithm against an analyzed nest.
+func Search(a *core.Analysis, opt Options) (*Result, error) {
+	if len(opt.Dims) == 0 {
+		return nil, fmt.Errorf("tilesearch: no dimensions to search")
+	}
+	if opt.MinTile <= 0 {
+		opt.MinTile = 4
+	}
+	ev := &evaluator{a: a, opt: opt, cache: map[string]Candidate{}}
+
+	// Phase 1: coarse sweep over power-of-two sizes.
+	grid := make([][]int64, len(opt.Dims))
+	for i, d := range opt.Dims {
+		for s := opt.MinTile; s <= d.Max; s *= 2 {
+			if opt.DivisorOf != 0 && opt.DivisorOf%s != 0 {
+				continue
+			}
+			grid[i] = append(grid[i], s)
+		}
+		if len(grid[i]) == 0 {
+			grid[i] = []int64{opt.MinTile}
+		}
+	}
+	var coarse []Candidate
+	assign := map[string]int64{}
+	var sweep func(i int) error
+	sweep = func(i int) error {
+		if i == len(opt.Dims) {
+			c, err := ev.eval(assign)
+			if err != nil {
+				return err
+			}
+			coarse = append(coarse, c)
+			return nil
+		}
+		for _, s := range grid[i] {
+			assign[opt.Dims[i].Symbol] = s
+			if err := sweep(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := sweep(0); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: keep the frontier — candidates whose every single-dimension
+	// doubling either leaves the grid or pushes an additional stack
+	// distance past the cache capacity (detected as a miss increase).
+	frontier, err := ev.frontier(coarse)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3: refine around frontier points with halved steps.
+	best := bestOf(frontier)
+	pool := frontier
+	for step := opt.MinTile / 2; step >= 1; step /= 2 {
+		var next []Candidate
+		for _, c := range pool {
+			for _, d := range opt.Dims {
+				for _, delta := range []int64{-step, step} {
+					nt := cloneTiles(c.Tiles)
+					v := nt[d.Symbol] + delta
+					if v < 1 || v > d.Max {
+						continue
+					}
+					if opt.DivisorOf != 0 && opt.DivisorOf%v != 0 {
+						continue
+					}
+					cand, err := ev.eval(nt2(nt, d.Symbol, v))
+					if err != nil {
+						return nil, err
+					}
+					next = append(next, cand)
+				}
+			}
+		}
+		pool = append(pool, next...)
+		b := bestOf(pool)
+		if b.Misses < best.Misses {
+			best = b
+		}
+		// Phase 4: prune to the most promising candidates before the next
+		// refinement round.
+		pool = topK(pool, 8)
+	}
+
+	return &Result{Best: best, Frontier: frontier, Evaluated: len(ev.cache)}, nil
+}
+
+type evaluator struct {
+	a     *core.Analysis
+	opt   Options
+	cache map[string]Candidate
+}
+
+func (ev *evaluator) eval(tiles map[string]int64) (Candidate, error) {
+	key := tileKey(tiles, ev.opt.Dims)
+	if c, ok := ev.cache[key]; ok {
+		return c, nil
+	}
+	env := expr.Env{}
+	for k, v := range ev.opt.BaseEnv {
+		env[k] = v
+	}
+	for k, v := range tiles {
+		env[k] = v
+	}
+	var misses int64
+	var err error
+	if ev.opt.UnknownBounds != nil {
+		misses, err = ev.boundFreeMisses(env)
+	} else {
+		misses, err = ev.a.PredictTotal(env, ev.opt.CacheElems)
+	}
+	if err != nil {
+		return Candidate{}, err
+	}
+	c := Candidate{Tiles: cloneTiles(tiles), Misses: misses}
+	ev.cache[key] = c
+	return c, nil
+}
+
+// boundFreeMisses scores a candidate in unknown-bounds mode: a component
+// whose stack distance avoids the bound symbols is classified exactly; a
+// component whose stack distance mentions a bound is assumed to miss (the
+// bounds are unknown but large, so any distance proportional to a bound
+// exceeds the cache). Counts use the surrogate bounds, which scale all
+// candidates identically.
+func (ev *evaluator) boundFreeMisses(env expr.Env) (int64, error) {
+	rep, err := ev.a.PredictMisses(env, ev.opt.CacheElems)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, d := range rep.Detail {
+		c := d.Component
+		if c.SD.Base.IsInf() {
+			continue // compulsory misses are tile-independent
+		}
+		boundSD := c.SD.Base.HasAnyVar(ev.opt.UnknownBounds) ||
+			(c.SD.Slope != nil && c.SD.Slope.HasAnyVar(ev.opt.UnknownBounds))
+		if boundSD {
+			total += d.Count // assumed miss: SD grows with the bounds
+		} else {
+			total += d.Misses
+		}
+	}
+	return total, nil
+}
+
+// frontier keeps coarse candidates that cannot be doubled in any dimension
+// without either leaving the grid or increasing the miss count.
+func (ev *evaluator) frontier(coarse []Candidate) ([]Candidate, error) {
+	var out []Candidate
+	for _, c := range coarse {
+		isFrontier := true
+		for _, d := range ev.opt.Dims {
+			v := c.Tiles[d.Symbol] * 2
+			if v > d.Max {
+				continue
+			}
+			if ev.opt.DivisorOf != 0 && ev.opt.DivisorOf%v != 0 {
+				continue
+			}
+			bigger, err := ev.eval(nt2(cloneTiles(c.Tiles), d.Symbol, v))
+			if err != nil {
+				return nil, err
+			}
+			if bigger.Misses <= c.Misses {
+				// growing this dimension does not hurt: not on the frontier
+				isFrontier = false
+				break
+			}
+		}
+		if isFrontier {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		out = []Candidate{bestOf(coarse)}
+	}
+	return topK(out, 8), nil
+}
+
+func bestOf(cs []Candidate) Candidate {
+	best := cs[0]
+	for _, c := range cs[1:] {
+		if c.Misses < best.Misses {
+			best = c
+		}
+	}
+	return best
+}
+
+func topK(cs []Candidate, k int) []Candidate {
+	sorted := append([]Candidate(nil), cs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Misses < sorted[j].Misses })
+	seen := map[string]bool{}
+	var out []Candidate
+	for _, c := range sorted {
+		key := fmt.Sprint(c.Tiles)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, c)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+func cloneTiles(t map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(t))
+	for k, v := range t {
+		out[k] = v
+	}
+	return out
+}
+
+func nt2(t map[string]int64, k string, v int64) map[string]int64 {
+	t[k] = v
+	return t
+}
+
+func tileKey(t map[string]int64, dims []Dim) string {
+	parts := make([]string, len(dims))
+	for i, d := range dims {
+		parts[i] = fmt.Sprintf("%s=%d", d.Symbol, t[d.Symbol])
+	}
+	return fmt.Sprint(parts)
+}
+
+// String renders a candidate as (TI=64, TJ=16, ...).
+func (c Candidate) String() string {
+	keys := make([]string, 0, len(c.Tiles))
+	for k := range c.Tiles {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, c.Tiles[k])
+	}
+	return fmt.Sprintf("(%s) misses=%d", joinComma(parts), c.Misses)
+}
+
+func joinComma(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/kernels"
+	"repro/internal/loopir"
+)
+
+// TestExecutorMatmul: executing the matmul IR must equal the native kernel.
+func TestExecutorMatmul(t *testing.T) {
+	n := expr.Var("N")
+	stmt := &loopir.Stmt{
+		Label: "S1",
+		Refs: []loopir.Ref{
+			{Array: "A", Mode: loopir.Read, Subs: []loopir.Subscript{loopir.Idx("i"), loopir.Idx("j")}},
+			{Array: "B", Mode: loopir.Read, Subs: []loopir.Subscript{loopir.Idx("j"), loopir.Idx("k")}},
+			{Array: "C", Mode: loopir.Update, Subs: []loopir.Subscript{loopir.Idx("i"), loopir.Idx("k")}},
+		},
+	}
+	nest, err := loopir.BuildPerfect(loopir.PerfectNestSpec{
+		Name: "matmul",
+		Arrays: []*loopir.Array{
+			{Name: "A", Dims: []*expr.Expr{n, n}},
+			{Name: "B", Dims: []*expr.Expr{n, n}},
+			{Name: "C", Dims: []*expr.Expr{n, n}},
+		},
+		Indices: []string{"i", "j", "k"},
+		Trips:   []*expr.Expr{n, n, n},
+		Stmt:    stmt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const N = 12
+	ex, err := NewExecutor(nest, expr.Env{"N": N})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := kernels.NewMatrix(N, N)
+	b := kernels.NewMatrix(N, N)
+	a.FillSequential(0.25)
+	b.FillSequential(0.5)
+	if err := ex.SetArray("A", a.Data); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.SetArray("B", b.Data); err != nil {
+		t.Fatal(err)
+	}
+	ex.Run()
+	got, err := ex.Array("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := kernels.NewMatrix(N, N)
+	if err := kernels.MatmulNaive(a, b, want); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		d := got[i] - want.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > 1e-9 {
+			t.Fatalf("C[%d] = %g want %g", i, got[i], want.Data[i])
+		}
+	}
+}
+
+// TestExecutorTiledTwoIndex: the Fig. 6 IR computes the same B as the
+// native fused kernel, including the zero-initializations of B and the
+// tile buffer.
+func TestExecutorTiledTwoIndex(t *testing.T) {
+	nest, err := kernels.TiledTwoIndex(kernels.SymbolicTwoIndexBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const N = 16
+	env, err := kernels.TwoIndexEnv(N, 4, 4, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(nest, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := kernels.NewMatrix(N, N)
+	c1 := kernels.NewMatrix(N, N)
+	c2 := kernels.NewMatrix(N, N)
+	a.FillSequential(0.1)
+	c1.FillSequential(0.2)
+	c2.FillSequential(0.3)
+	for name, m := range map[string]*kernels.Matrix{"A": a, "C1": c1, "C2": c2} {
+		if err := ex.SetArray(name, m.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ex.Run()
+	got, err := ex.Array("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := kernels.TwoIndexFused(a, c1, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		d := got[i] - want.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > 1e-6 {
+			t.Fatalf("B[%d] = %g want %g", i, got[i], want.Data[i])
+		}
+	}
+}
+
+func TestExecutorErrors(t *testing.T) {
+	n := expr.Var("N")
+	// Statement with no written reference.
+	nest, err := loopir.NewNest("readonly",
+		[]*loopir.Array{{Name: "X", Dims: []*expr.Expr{n}}},
+		[]loopir.Node{&loopir.Loop{Index: "i", Trip: n, Body: []loopir.Node{
+			&loopir.Stmt{Refs: []loopir.Ref{
+				{Array: "X", Mode: loopir.Read, Subs: []loopir.Subscript{loopir.Idx("i")}},
+			}},
+		}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewExecutor(nest, expr.Env{"N": 4}); err == nil {
+		t.Fatal("read-only statement accepted")
+	}
+	// Valid nest: bad array operations.
+	nest2, err := loopir.NewNest("w",
+		[]*loopir.Array{{Name: "X", Dims: []*expr.Expr{n}}},
+		[]loopir.Node{&loopir.Loop{Index: "i", Trip: n, Body: []loopir.Node{
+			&loopir.Stmt{Refs: []loopir.Ref{
+				{Array: "X", Mode: loopir.Write, Subs: []loopir.Subscript{loopir.Idx("i")}},
+			}},
+		}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(nest2, expr.Env{"N": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.SetArray("X", make([]float64, 3)); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	if err := ex.SetArray("Q", make([]float64, 4)); err == nil {
+		t.Fatal("unknown array accepted")
+	}
+	if _, err := ex.Array("Q"); err == nil {
+		t.Fatal("unknown array read accepted")
+	}
+	// Write-only statement zeroes the array.
+	if err := ex.SetArray("X", []float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	ex.Run()
+	x, _ := ex.Array("X")
+	for i, v := range x {
+		if v != 0 {
+			t.Fatalf("X[%d] = %g after zeroing statement", i, v)
+		}
+	}
+}

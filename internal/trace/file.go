@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace format. Traces can be written once and replayed through any
+// of the simulators (or external tools) without regenerating them:
+//
+//	header:  magic "RTRC" | version u8 | nSites uvarint | addrSpace uvarint
+//	records: site uvarint | addrDelta zigzag-varint   (delta vs previous addr)
+//	footer:  site == nSites sentinel record terminates the stream
+//
+// Delta encoding exploits the spatial regularity of loop traces; typical
+// records are 2–3 bytes.
+
+const traceMagic = "RTRC"
+const traceVersion = 1
+
+// Writer streams a trace to an io.Writer in the binary format.
+type Writer struct {
+	w        *bufio.Writer
+	nSites   int
+	prevAddr int64
+	records  int64
+	buf      [2 * binary.MaxVarintLen64]byte
+	err      error
+}
+
+// NewWriter writes the header and returns a Writer.
+func NewWriter(w io.Writer, nSites int, addrSpace int64) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return nil, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(nSites))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return nil, err
+	}
+	n = binary.PutUvarint(buf[:], uint64(addrSpace))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, nSites: nSites}, nil
+}
+
+// Emit records one access; it has the trace.Emit signature so it can be
+// passed directly to Program.Run.
+func (t *Writer) Emit(site int, addr int64) {
+	if t.err != nil {
+		return
+	}
+	if site < 0 || site >= t.nSites {
+		t.err = fmt.Errorf("trace: site %d out of range [0,%d)", site, t.nSites)
+		return
+	}
+	n := binary.PutUvarint(t.buf[:], uint64(site))
+	n += binary.PutVarint(t.buf[n:], addr-t.prevAddr)
+	if _, err := t.w.Write(t.buf[:n]); err != nil {
+		t.err = err
+		return
+	}
+	t.prevAddr = addr
+	t.records++
+}
+
+// Close writes the terminating sentinel and flushes. It returns the first
+// error encountered during writing.
+func (t *Writer) Close() error {
+	if t.err != nil {
+		return t.err
+	}
+	n := binary.PutUvarint(t.buf[:], uint64(t.nSites))
+	if _, err := t.w.Write(t.buf[:n]); err != nil {
+		return err
+	}
+	return t.w.Flush()
+}
+
+// Records returns the number of accesses written.
+func (t *Writer) Records() int64 { return t.records }
+
+// Header describes a stored trace.
+type Header struct {
+	NSites    int
+	AddrSpace int64
+}
+
+// ReadTrace replays a stored trace, invoking emit per access, and returns
+// the header and the record count.
+func ReadTrace(r io.Reader, emit Emit) (Header, int64, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var h Header
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return h, 0, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return h, 0, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return h, 0, err
+	}
+	if ver != traceVersion {
+		return h, 0, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	nSites, err := binary.ReadUvarint(br)
+	if err != nil {
+		return h, 0, err
+	}
+	addrSpace, err := binary.ReadUvarint(br)
+	if err != nil {
+		return h, 0, err
+	}
+	h.NSites = int(nSites)
+	h.AddrSpace = int64(addrSpace)
+
+	var count int64
+	var prevAddr int64
+	for {
+		site, err := binary.ReadUvarint(br)
+		if err != nil {
+			return h, count, fmt.Errorf("trace: truncated stream after %d records: %w", count, err)
+		}
+		if site == nSites {
+			return h, count, nil // sentinel
+		}
+		if site > nSites {
+			return h, count, fmt.Errorf("trace: corrupt site %d", site)
+		}
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return h, count, fmt.Errorf("trace: truncated record %d: %w", count, err)
+		}
+		prevAddr += delta
+		if prevAddr < 0 || prevAddr >= h.AddrSpace {
+			return h, count, fmt.Errorf("trace: corrupt address %d at record %d", prevAddr, count)
+		}
+		emit(int(site), prevAddr)
+		count++
+	}
+}

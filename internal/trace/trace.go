@@ -1,0 +1,266 @@
+// Package trace turns a loopir.Nest plus a concrete environment into the
+// exact sequence of memory references the program performs. It is the ground
+// truth against which the analytical cache-miss model is validated: the
+// stream it produces feeds internal/cachesim, playing the role SimpleScalar's
+// sim-cache plays in the paper.
+//
+// Addresses are element-granular: every array element occupies one address
+// unit, arrays are laid out row-major and placed consecutively in a single
+// address space. The cache simulator applies line-size scaling if needed.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/loopir"
+)
+
+// Emit receives one access: the index of the static reference site (into
+// Program.Sites) and the element address.
+type Emit func(site int, addr int64)
+
+// Program is a nest compiled against a concrete environment, ready to
+// generate its reference trace.
+type Program struct {
+	Nest  *loopir.Nest
+	Env   expr.Env
+	Sites []loopir.RefSite
+
+	// Base address of each array and total address-space size in elements.
+	Bases map[string]int64
+	Size  int64
+
+	root    []cnode
+	nSlots  int
+	checked bool
+}
+
+type cnode interface{ run(vals []int64, emit Emit) }
+
+type cloop struct {
+	trip int64
+	slot int
+	body []cnode
+}
+
+type cref struct {
+	site  int
+	base  int64
+	terms []cterm // addr = base + sum(stride*vals[slot])
+}
+
+type cterm struct {
+	slot   int
+	stride int64
+}
+
+type cstmt struct {
+	refs []cref
+}
+
+func (l *cloop) run(vals []int64, emit Emit) {
+	for v := int64(0); v < l.trip; v++ {
+		vals[l.slot] = v
+		for _, b := range l.body {
+			b.run(vals, emit)
+		}
+	}
+}
+
+func (s *cstmt) run(vals []int64, emit Emit) {
+	for i := range s.refs {
+		r := &s.refs[i]
+		addr := r.base
+		for _, t := range r.terms {
+			addr += t.stride * vals[t.slot]
+		}
+		emit(r.site, addr)
+	}
+}
+
+// Compile prepares the nest for execution under env. It validates the
+// environment, lays out arrays (sorted by name for determinism), and
+// pre-resolves every subscript into a flat base+strides form.
+func Compile(nest *loopir.Nest, env expr.Env) (*Program, error) {
+	if err := nest.ValidateEnv(env); err != nil {
+		return nil, err
+	}
+	p := &Program{Nest: nest, Env: env, Sites: nest.Sites(), Bases: map[string]int64{}}
+
+	names := make([]string, 0, len(nest.Arrays))
+	for name := range nest.Arrays {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := nest.Arrays[name]
+		p.Bases[name] = p.Size
+		n, err := a.Elements().Eval(env)
+		if err != nil {
+			return nil, err
+		}
+		p.Size += n
+	}
+
+	siteIdx := map[string]int{}
+	for i, s := range p.Sites {
+		siteIdx[s.Key()] = i
+	}
+
+	// Loop index names may repeat across sibling subtrees, so slots are
+	// allocated per loop node and name→slot bindings are lexically scoped.
+	nSlots := 0
+	var compile func(nodes []loopir.Node, scope map[string]int) ([]cnode, error)
+	compile = func(nodes []loopir.Node, scope map[string]int) ([]cnode, error) {
+		var out []cnode
+		for _, nd := range nodes {
+			switch v := nd.(type) {
+			case *loopir.Loop:
+				trip, err := v.Trip.Eval(env)
+				if err != nil {
+					return nil, err
+				}
+				slot := nSlots
+				nSlots++
+				inner := make(map[string]int, len(scope)+1)
+				for k, s := range scope {
+					inner[k] = s
+				}
+				inner[v.Index] = slot
+				body, err := compile(v.Body, inner)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, &cloop{trip: trip, slot: slot, body: body})
+			case *loopir.Stmt:
+				cs := &cstmt{}
+				for ri := range v.Refs {
+					r := &v.Refs[ri]
+					arr := nest.Arrays[r.Array]
+					// Row-major dimension strides.
+					dimStride := make([]int64, len(arr.Dims))
+					acc := int64(1)
+					for d := len(arr.Dims) - 1; d >= 0; d-- {
+						dimStride[d] = acc
+						ext, err := arr.Dims[d].Eval(env)
+						if err != nil {
+							return nil, err
+						}
+						acc *= ext
+					}
+					c := cref{
+						site: siteIdx[loopir.RefSite{Stmt: v, RefIdx: ri}.Key()],
+						base: p.Bases[r.Array],
+					}
+					for d, sub := range r.Subs {
+						for _, term := range sub.Terms {
+							stride := int64(1)
+							if term.Stride != nil {
+								sv, err := term.Stride.Eval(env)
+								if err != nil {
+									return nil, err
+								}
+								stride = sv
+							}
+							c.terms = append(c.terms, cterm{
+								slot:   scope[term.Index],
+								stride: stride * dimStride[d],
+							})
+						}
+					}
+					cs.refs = append(cs.refs, c)
+				}
+				out = append(out, cs)
+			}
+		}
+		return out, nil
+	}
+	root, err := compile(nest.Root, map[string]int{})
+	if err != nil {
+		return nil, err
+	}
+	p.root = root
+	p.nSlots = nSlots
+	return p, nil
+}
+
+// Run streams the full reference trace to emit, in program order.
+func (p *Program) Run(emit Emit) {
+	vals := make([]int64, p.nSlots)
+	for _, n := range p.root {
+		n.run(vals, emit)
+	}
+}
+
+// CheckBounds runs the trace once, verifying that every address falls within
+// the address range of its array. It returns the first violation found.
+// Intended for tests and for validating user-supplied nests once before long
+// simulations.
+func (p *Program) CheckBounds() error {
+	// Precompute (base, limit, name) sorted by base for address lookup.
+	type rangeInfo struct {
+		base, limit int64
+		name        string
+	}
+	var ranges []rangeInfo
+	for name, base := range p.Bases {
+		n, err := p.Nest.Arrays[name].Elements().Eval(p.Env)
+		if err != nil {
+			return err
+		}
+		ranges = append(ranges, rangeInfo{base, base + n, name})
+	}
+	var violation error
+	p.Run(func(site int, addr int64) {
+		if violation != nil {
+			return
+		}
+		name := p.Sites[site].Ref().Array
+		for _, r := range ranges {
+			if r.name == name {
+				if addr < r.base || addr >= r.limit {
+					violation = fmt.Errorf("trace: %s address %d outside [%d,%d) of %s",
+						p.Sites[site].Key(), addr, r.base, r.limit, name)
+				}
+				return
+			}
+		}
+		violation = fmt.Errorf("trace: site %d references unknown array %s", site, name)
+	})
+	return violation
+}
+
+// Length returns the total number of accesses the trace will produce,
+// computed symbolically (without running the trace).
+func (p *Program) Length() (int64, error) {
+	total := int64(0)
+	for _, s := range p.Nest.Stmts() {
+		iters := int64(1)
+		for _, l := range p.Nest.Enclosing(s) {
+			t, err := l.Trip.Eval(p.Env)
+			if err != nil {
+				return 0, err
+			}
+			iters *= t
+		}
+		total += iters * int64(len(s.Refs))
+	}
+	return total, nil
+}
+
+// Collect materializes the whole trace as (site, addr) pairs. Only suitable
+// for small programs (tests); long traces should stream through Run.
+func (p *Program) Collect() (sites []int, addrs []int64) {
+	n, err := p.Length()
+	if err == nil && n < 1<<24 {
+		sites = make([]int, 0, n)
+		addrs = make([]int64, 0, n)
+	}
+	p.Run(func(site int, addr int64) {
+		sites = append(sites, site)
+		addrs = append(addrs, addr)
+	})
+	return sites, addrs
+}

@@ -1,0 +1,183 @@
+package validate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cachesim"
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/trace"
+)
+
+// Component-level validation: the model claims, per reference site, a
+// multiset of (stack distance, instance count) pairs. The simulator
+// produces the true multiset. Comparing the two distributions — rather than
+// only total misses at one capacity — pins down *which* component formula
+// is wrong when something is, and is the strongest form of ground-truthing
+// the symbolic model admits.
+
+// SiteDistribution is a per-site stack-distance distribution: distance →
+// access count, with first touches under key -1.
+type SiteDistribution map[int64]int64
+
+// Total returns the number of accesses in the distribution.
+func (d SiteDistribution) Total() int64 {
+	var t int64
+	for _, n := range d {
+		t += n
+	}
+	return t
+}
+
+// ComponentCheck compares, per site, the model's predicted distribution
+// against the simulator's. Match quality is summarized by the earth-mover
+// style overlap: the fraction of accesses whose predicted distance bucket
+// agrees with the simulation (bucketed by powers of two, since
+// representative spans are accurate to low-order terms, not exact).
+type ComponentCheck struct {
+	SiteKey   string
+	Predicted SiteDistribution
+	Simulated SiteDistribution
+	// Overlap is in [0,1]: 1 means the bucketed distributions coincide.
+	Overlap float64
+}
+
+// bucket maps a stack distance to a comparison bucket: first touches and
+// exact small distances are their own buckets; larger distances group by
+// power of two.
+func bucket(sd int64) int64 {
+	if sd < 0 {
+		return -1
+	}
+	if sd <= 8 {
+		return sd
+	}
+	b := int64(16)
+	for ; b < sd; b *= 2 {
+	}
+	return b
+}
+
+// CheckComponents runs the full comparison for every site.
+func CheckComponents(a *core.Analysis, env expr.Env) ([]ComponentCheck, error) {
+	p, err := trace.Compile(a.Nest, env)
+	if err != nil {
+		return nil, err
+	}
+	simDist := make([]SiteDistribution, len(p.Sites))
+	for i := range simDist {
+		simDist[i] = SiteDistribution{}
+	}
+	sim := cachesim.NewStackSim(p.Size, len(p.Sites), nil)
+	sim.OnSD = func(site int, sd int64) {
+		if sd == cachesim.InfSD {
+			simDist[site][-1]++
+		} else {
+			simDist[site][sd]++
+		}
+	}
+	p.Run(sim.Access)
+
+	// Predicted distributions from the components.
+	predDist := map[string]SiteDistribution{}
+	for _, c := range a.Components {
+		key := c.Site.Key()
+		if predDist[key] == nil {
+			predDist[key] = SiteDistribution{}
+		}
+		count, err := c.Count.Eval(env)
+		if err != nil {
+			return nil, err
+		}
+		if count <= 0 {
+			continue
+		}
+		if c.SD.Base.IsInf() {
+			predDist[key][-1] += count
+			continue
+		}
+		if c.SD.IsConst() {
+			sd, err := c.SD.Base.Eval(env)
+			if err != nil {
+				return nil, err
+			}
+			predDist[key][sd] += count
+			continue
+		}
+		// Variable SD: spread the count uniformly over the position range.
+		rng, err := c.FreeRange.Eval(env)
+		if err != nil {
+			return nil, err
+		}
+		if rng <= 0 {
+			return nil, fmt.Errorf("validate: non-positive free range for %s", key)
+		}
+		per := count / rng
+		for aPos := int64(0); aPos < rng; aPos++ {
+			sd, err := c.SD.Eval(env, aPos)
+			if err != nil {
+				return nil, err
+			}
+			predDist[key][sd] += per
+		}
+		if rem := count - per*rng; rem > 0 {
+			sd, _ := c.SD.Eval(env, 0)
+			predDist[key][sd] += rem
+		}
+	}
+
+	var out []ComponentCheck
+	for i, site := range p.Sites {
+		key := site.Key()
+		pd := predDist[key]
+		if pd == nil {
+			pd = SiteDistribution{}
+		}
+		cc := ComponentCheck{SiteKey: key, Predicted: pd, Simulated: simDist[i]}
+		cc.Overlap = overlap(pd, simDist[i])
+		out = append(out, cc)
+	}
+	return out, nil
+}
+
+// overlap computes the bucketed histogram intersection over total accesses.
+func overlap(a, b SiteDistribution) float64 {
+	ba := map[int64]int64{}
+	bb := map[int64]int64{}
+	for sd, n := range a {
+		ba[bucket(sd)] += n
+	}
+	for sd, n := range b {
+		bb[bucket(sd)] += n
+	}
+	var inter, total int64
+	for k, na := range ba {
+		nb := bb[k]
+		if na < nb {
+			inter += na
+		} else {
+			inter += nb
+		}
+	}
+	for _, n := range bb {
+		total += n
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(inter) / float64(total)
+}
+
+// FormatComponentChecks renders the overlap summary, worst sites first.
+func FormatComponentChecks(checks []ComponentCheck) string {
+	sorted := append([]ComponentCheck(nil), checks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Overlap < sorted[j].Overlap })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-9s %s\n", "site", "overlap", "(bucketed SD distribution agreement)")
+	for _, c := range sorted {
+		fmt.Fprintf(&b, "%-10s %8.2f%%  accesses=%d\n", c.SiteKey, 100*c.Overlap, c.Simulated.Total())
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+)
+
+func TestCheckComponentsMatmul(t *testing.T) {
+	nest, err := kernels.TiledMatmul()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := kernels.MatmulEnv(24, 4, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks, err := CheckComponents(a, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) != 3 {
+		t.Fatalf("%d sites", len(checks))
+	}
+	for _, c := range checks {
+		// Conservation: the predicted distribution covers every access.
+		if got, want := c.Predicted.Total(), c.Simulated.Total(); got != want {
+			t.Errorf("%s: predicted %d accesses vs %d", c.SiteKey, got, want)
+		}
+		// Distribution agreement: representative spans should land in the
+		// right power-of-two bucket for the overwhelming majority.
+		if c.Overlap < 0.90 {
+			t.Errorf("%s: overlap %.3f\npred=%v\nsim=%v", c.SiteKey, c.Overlap, c.Predicted, c.Simulated)
+		}
+	}
+	out := FormatComponentChecks(checks)
+	if !strings.Contains(out, "S1#0") {
+		t.Fatalf("bad rendering:\n%s", out)
+	}
+}
+
+func TestCheckComponentsTwoIndex(t *testing.T) {
+	nest, err := kernels.TiledTwoIndex(kernels.SymbolicTwoIndexBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := kernels.TwoIndexEnv(16, 4, 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks, err := CheckComponents(a, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64 = 1
+	for _, c := range checks {
+		if got, want := c.Predicted.Total(), c.Simulated.Total(); got != want {
+			t.Errorf("%s: predicted %d accesses vs %d", c.SiteKey, got, want)
+		}
+		if c.Overlap < worst {
+			worst = c.Overlap
+		}
+	}
+	// The imperfect nest's cross-statement spans are representative, not
+	// exact; still the bulk of every distribution must agree.
+	if worst < 0.70 {
+		t.Errorf("worst site overlap %.3f\n%s", worst, FormatComponentChecks(checks))
+	}
+}

@@ -1,0 +1,132 @@
+// Package validate cross-checks the analytical cache model against the
+// exact trace simulator, per reference site and per cache capacity. It is
+// the machinery behind the repository's accuracy claims: tests use it to
+// bound the model's error, and cmd/cachechar exposes it to users who want
+// to audit the model on their own nests.
+package validate
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cachesim"
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/trace"
+)
+
+// SiteComparison is the predicted-vs-simulated record for one reference
+// site at one cache capacity.
+type SiteComparison struct {
+	SiteKey   string
+	Accesses  int64
+	Predicted int64
+	Simulated int64
+}
+
+// AbsErr returns |Predicted − Simulated|.
+func (s SiteComparison) AbsErr() int64 {
+	d := s.Predicted - s.Simulated
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// Comparison is the full cross-check at one cache capacity.
+type Comparison struct {
+	CacheElems     int64
+	Accesses       int64
+	PredictedTotal int64
+	SimulatedTotal int64
+	Sites          []SiteComparison
+	// PredictedCompulsory and SimulatedCompulsory compare first-touch
+	// counts with the simulator's distinct-address count; these must match
+	// exactly for programs in the class (every element's first access is a
+	// first touch in exactly one component).
+	PredictedCompulsory int64
+	SimulatedCompulsory int64
+}
+
+// RelErr returns |predicted − simulated| / simulated for the totals.
+func (c Comparison) RelErr() float64 {
+	if c.SimulatedTotal == 0 {
+		if c.PredictedTotal == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := c.PredictedTotal - c.SimulatedTotal
+	if d < 0 {
+		d = -d
+	}
+	return float64(d) / float64(c.SimulatedTotal)
+}
+
+// Run analyzes nothing new: it evaluates an existing analysis under env at
+// each watched capacity, simulates the exact trace once, and returns one
+// Comparison per capacity.
+func Run(a *core.Analysis, env expr.Env, watches []int64) ([]Comparison, error) {
+	p, err := trace.Compile(a.Nest, env)
+	if err != nil {
+		return nil, err
+	}
+	sim := cachesim.NewStackSim(p.Size, len(p.Sites), watches)
+	p.Run(sim.Access)
+	res := sim.Results()
+
+	var out []Comparison
+	for wi, cap := range watches {
+		rep, err := a.PredictMisses(env, cap)
+		if err != nil {
+			return nil, err
+		}
+		cmp := Comparison{
+			CacheElems:          cap,
+			Accesses:            res.Accesses,
+			PredictedTotal:      rep.Total,
+			SimulatedTotal:      res.Misses[wi],
+			SimulatedCompulsory: res.Distinct,
+		}
+		for _, d := range rep.Detail {
+			if d.Component.SD.Base.IsInf() {
+				cmp.PredictedCompulsory += d.Count
+			}
+		}
+		for si, site := range p.Sites {
+			cmp.Sites = append(cmp.Sites, SiteComparison{
+				SiteKey:   site.Key(),
+				Accesses:  res.PerSite[si].Accesses,
+				Predicted: rep.BySite[site.Key()],
+				Simulated: res.PerSite[si].Misses[wi],
+			})
+		}
+		out = append(out, cmp)
+	}
+	return out, nil
+}
+
+// Format renders comparisons as an aligned report.
+func Format(cmps []Comparison) string {
+	var b strings.Builder
+	for _, c := range cmps {
+		fmt.Fprintf(&b, "cache %d elements: predicted %d vs simulated %d (rel err %.3f%%)\n",
+			c.CacheElems, c.PredictedTotal, c.SimulatedTotal, 100*c.RelErr())
+		for _, s := range c.Sites {
+			fmt.Fprintf(&b, "  %-10s predicted %12d  simulated %12d  (of %d accesses)\n",
+				s.SiteKey, s.Predicted, s.Simulated, s.Accesses)
+		}
+	}
+	return b.String()
+}
+
+// CheckCompulsory verifies the exactness invariant on first touches.
+func CheckCompulsory(cmps []Comparison) error {
+	for _, c := range cmps {
+		if c.PredictedCompulsory != c.SimulatedCompulsory {
+			return fmt.Errorf("validate: compulsory misses %d predicted vs %d distinct addresses",
+				c.PredictedCompulsory, c.SimulatedCompulsory)
+		}
+	}
+	return nil
+}

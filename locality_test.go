@@ -1,0 +1,73 @@
+package repro
+
+import "testing"
+
+// TestPublicAPIEndToEnd drives the facade the way the README's quickstart
+// does: build a kernel, analyze, predict, simulate, search tiles, and
+// predict parallel time.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	nest, err := TiledMatmul()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := Env{"N": 64, "TI": 8, "TJ": 8, "TK": 8}
+	const cache = 1024
+	rep, err := PredictMisses(a, env, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total <= 0 || rep.Accesses != 3*64*64*64 {
+		t.Fatalf("report total=%d accesses=%d", rep.Total, rep.Accesses)
+	}
+	sim, err := SimulateMisses(nest, env, []int64{cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simMisses, err := sim.MissesFor(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := rep.Total - simMisses
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.10*float64(simMisses)+4*64*64 {
+		t.Fatalf("predicted %d vs simulated %d", rep.Total, simMisses)
+	}
+
+	res, err := SearchTiles(a, TileSearchOptions{
+		Dims:       []TileDim{{Symbol: "TI", Max: 64}, {Symbol: "TJ", Max: 64}, {Symbol: "TK", Max: 64}},
+		CacheElems: cache,
+		BaseEnv:    Env{"N": 64},
+		DivisorOf:  64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Misses > rep.Total {
+		t.Fatalf("search best %v worse than the arbitrary tiles (%d)", res.Best, rep.Total)
+	}
+
+	two, err := TiledTwoIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Analyze(two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := PredictParallel(a2, Env{
+		"NI": 64, "NJ": 64, "NM": 64, "NN": 64,
+		"TI": 16, "TJ": 16, "TM": 16, "TN": 16,
+	}, SMPConfig{Procs: 2, SplitSymbol: "NN", CacheElems: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.PerProcFlops <= 0 || pred.TimeBusBound < pred.TimeInfiniteBW {
+		t.Fatalf("bad prediction %+v", pred)
+	}
+}
