@@ -1,0 +1,31 @@
+# Developer convenience targets. `make check` is the pre-submit gate:
+# static analysis, the full test suite under the race detector, and a short
+# fuzzing smoke of the analyzer/search entry points.
+
+GO ?= go
+
+.PHONY: all build test check vet race fuzz-smoke bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# A 10-second no-panic fuzz of AnalyzeWithOptions + Search on top of the
+# checked-in seed corpus.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzAnalyzeNoPanic$$' -fuzztime 10s ./internal/tilesearch
+
+check: vet race fuzz-smoke
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...

@@ -8,14 +8,17 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"repro/internal/cachesim"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/expr"
 	"repro/internal/kernels"
 	"repro/internal/smp"
+	"repro/internal/tilesearch"
 	"repro/internal/trace"
 )
 
@@ -170,6 +173,99 @@ func BenchmarkTable4TileSearch(b *testing.B) {
 			b.Fatal("missing row")
 		}
 	}
+}
+
+// BenchmarkExhaustiveParallel scores the full 4-dimensional divisor grid of
+// the two-index transform at several worker counts. Results are
+// byte-identical across sub-benchmarks; compare their ns/op for the
+// parallel speedup (visible only on multi-core hosts — a single-core host
+// reports parity, measuring dispatch overhead instead). The cache-hit-%
+// metric is the component-evaluation cache's share of avoided work.
+func BenchmarkExhaustiveParallel(b *testing.B) {
+	a, err := experiments.TwoIndexAnalysis()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 128
+	opt := tilesearch.Options{
+		Dims: []tilesearch.Dim{{Symbol: "TI", Max: n}, {Symbol: "TJ", Max: n},
+			{Symbol: "TM", Max: n}, {Symbol: "TN", Max: n}},
+		CacheElems: experiments.KB(64),
+		BaseEnv:    expr.Env{"NI": n, "NJ": n, "NM": n, "NN": n},
+		DivisorOf:  n,
+		MinTile:    2,
+	}
+	for _, j := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			o := opt
+			o.Parallelism = j
+			var res *tilesearch.Result
+			for i := 0; i < b.N; i++ {
+				res, err = tilesearch.Exhaustive(a, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Evaluated), "candidates")
+			b.ReportMetric(100*res.Cache.HitRate(), "cache-hit-%")
+		})
+	}
+}
+
+// BenchmarkSearchParallel measures the pruned §6 search at several worker
+// counts on the same 4-dimensional problem.
+func BenchmarkSearchParallel(b *testing.B) {
+	a, err := experiments.TwoIndexAnalysis()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 512
+	opt := tilesearch.Options{
+		Dims: []tilesearch.Dim{{Symbol: "TI", Max: n}, {Symbol: "TJ", Max: n},
+			{Symbol: "TM", Max: n}, {Symbol: "TN", Max: n}},
+		CacheElems: experiments.KB(64),
+		BaseEnv:    expr.Env{"NI": n, "NJ": n, "NM": n, "NN": n},
+		DivisorOf:  n,
+	}
+	for _, j := range []int{1, 4} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			o := opt
+			o.Parallelism = j
+			var res *tilesearch.Result
+			for i := 0; i < b.N; i++ {
+				res, err = tilesearch.Search(a, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Evaluated), "candidates")
+			b.ReportMetric(100*res.Cache.HitRate(), "cache-hit-%")
+		})
+	}
+}
+
+// BenchmarkPredictMissesCached is BenchmarkPredictMisses through an
+// EvalCache — the tile search's evaluation path. After the first iteration
+// every component evaluation is a cache hit, so the delta against
+// BenchmarkPredictMisses is the expression-evaluation cost the cache
+// removes from the search's inner loop.
+func BenchmarkPredictMissesCached(b *testing.B) {
+	a, err := experiments.TwoIndexAnalysis()
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := kernels.TwoIndexEnv(1024, 64, 16, 16, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ec := core.NewEvalCache(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ec.PredictTotal(env, 8192); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*ec.Stats().HitRate(), "cache-hit-%")
 }
 
 // BenchmarkFig10SMP regenerates Figure 10: parallel time of the two-index

@@ -11,16 +11,25 @@
 //	cachechar -kernel twoindex -dump-tree
 //	cachechar -kernel matmul -n 256 -tiles 32,64,32 -cache-kb 16 -simulate
 //	cachechar -kernel fourindex -n 32 -cache-kb 64 -inventory
+//	cachechar -kernel matmul -n 256 -tiles 32,64,32 -cache-kb 8,16,32,64 -j 4
 //	cachechar -file mynest.loop -D N=256 -D TI=32 -cache-kb 64 -validate
 //
-// The -file format is documented in internal/loopir/parse.go; bind its
-// symbols with repeated -D name=value flags.
+// -cache-kb accepts a comma-separated list of capacities; predictions for a
+// list are evaluated concurrently (-j workers) through a shared component
+// evaluation cache, so the sweep costs little more than a single point. The
+// -file format is documented in internal/loopir/parse.go; bind its symbols
+// with repeated -D name=value flags.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -46,20 +55,40 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON (ad-hoc and -inventory modes)")
 		n         = flag.Int64("n", 256, "loop bound for built-in kernels")
 		tiles     = flag.String("tiles", "", "comma-separated tile sizes")
-		cacheKB   = flag.Int64("cache-kb", 64, "cache size in KB of doubles")
+		cacheKB   = flag.String("cache-kb", "64", "cache size(s) in KB of doubles, comma-separated")
+		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "parallel evaluation workers for capacity sweeps")
 		lineElems = flag.Int64("line", 0, "also predict with the spatial model at this line size (elements)")
 		defines   defineList
 	)
 	flag.Var(&defines, "D", "symbol binding name=value for -file nests (repeatable)")
 	flag.Parse()
-	if err := run(*table, *kernel, *file, *simulate, *doVal, *dump, *inventory, *jsonOut, *n, *tiles, *cacheKB, *lineElems, defines); err != nil {
+	if err := run(*table, *kernel, *file, *simulate, *doVal, *dump, *inventory, *jsonOut, *n, *tiles, *cacheKB, *jobs, *lineElems, defines); err != nil {
 		fmt.Fprintln(os.Stderr, "cachechar:", err)
 		os.Exit(1)
 	}
 }
 
+func parseCacheKBs(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kb, err := strconv.ParseInt(part, 10, 64)
+		if err != nil || kb <= 0 {
+			return nil, fmt.Errorf("bad -cache-kb value %q", part)
+		}
+		out = append(out, kb)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -cache-kb list")
+	}
+	return out, nil
+}
+
 func run(table int, kernel, file string, simulate, doVal, dump, inventory, jsonOut bool,
-	n int64, tiles string, cacheKB, lineElems int64, defines []string) error {
+	n int64, tiles, cacheKBList string, jobs int, lineElems int64, defines []string) error {
 	switch table {
 	case 1:
 		nest, _, err := experiments.BuildKernel("matmul", 256, nil)
@@ -95,10 +124,18 @@ func run(table int, kernel, file string, simulate, doVal, dump, inventory, jsonO
 		return fmt.Errorf("unknown table %d (want 1, 2 or 3)", table)
 	}
 
+	kbs, err := parseCacheKBs(cacheKBList)
+	if err != nil {
+		return err
+	}
+	caps := make([]int64, len(kbs))
+	for i, kb := range kbs {
+		caps[i] = experiments.KB(kb)
+	}
+
 	var (
 		nest *loopir.Nest
 		env  expr.Env
-		err  error
 	)
 	if file != "" {
 		defs, derr := experiments.ParseDefines(defines)
@@ -136,15 +173,25 @@ func run(table int, kernel, file string, simulate, doVal, dump, inventory, jsonO
 		fmt.Print(a.Table())
 		return nil
 	}
-	cache := experiments.KB(cacheKB)
 	if doVal {
-		cmps, err := validate.Run(a, env, []int64{cache})
+		cmps, err := validate.Run(a, env, caps)
 		if err != nil {
 			return err
 		}
 		fmt.Print(validate.Format(cmps))
 		return validate.CheckCompulsory(cmps)
 	}
+	if len(caps) > 1 {
+		if jsonOut {
+			return fmt.Errorf("-json supports a single -cache-kb value")
+		}
+		if lineElems > 0 {
+			return fmt.Errorf("-line supports a single -cache-kb value")
+		}
+		return capacitySweep(a, nest, env, kbs, caps, jobs, simulate)
+	}
+
+	cache := caps[0]
 	rep, err := a.PredictMisses(env, cache)
 	if err != nil {
 		return err
@@ -157,7 +204,7 @@ func run(table int, kernel, file string, simulate, doVal, dump, inventory, jsonO
 		fmt.Println(string(data))
 		return nil
 	}
-	fmt.Printf("nest %s  env %v  cache %d KB (%d elements)\n", nest.Name, env, cacheKB, cache)
+	fmt.Printf("nest %s  env %v  cache %d KB (%d elements)\n", nest.Name, env, kbs[0], cache)
 	fmt.Printf("accesses  %d\n", rep.Accesses)
 	fmt.Printf("predicted %d misses (%.3f%% of accesses)\n",
 		rep.Total, 100*float64(rep.Total)/float64(rep.Accesses))
@@ -181,4 +228,88 @@ func run(table int, kernel, file string, simulate, doVal, dump, inventory, jsonO
 			cmps[0].SimulatedTotal, 100*cmps[0].RelErr())
 	}
 	return nil
+}
+
+// capacitySweep predicts misses at every capacity concurrently through one
+// shared component-evaluation cache: capacities share all environment-
+// dependent work, so the sweep recomputes only the capacity comparisons.
+func capacitySweep(a *core.Analysis, nest *loopir.Nest, env expr.Env,
+	kbs, caps []int64, jobs int, simulate bool) error {
+	if jobs < 1 {
+		jobs = 1
+	}
+	ec := core.NewEvalCache(a)
+	reps := make([]*core.MissReport, len(caps))
+	errs := make([]error, len(caps))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(caps) {
+					return
+				}
+				reps[i], errs[i] = ec.PredictMisses(env, caps[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	var sims map[int64]int64
+	if simulate {
+		cmps, err := validate.Run(a, env, caps)
+		if err != nil {
+			return err
+		}
+		sims = map[int64]int64{}
+		for _, c := range cmps {
+			sims[c.CacheElems] = c.SimulatedTotal
+		}
+	}
+	fmt.Printf("nest %s  env %v  (%d workers)\n", nest.Name, env, jobs)
+	fmt.Printf("accesses  %d\n", reps[0].Accesses)
+	header := fmt.Sprintf("%-10s %-12s %-14s %-10s", "cache-kb", "elements", "predicted", "miss-%")
+	if simulate {
+		header += fmt.Sprintf(" %-14s", "simulated")
+	}
+	fmt.Println(header)
+	for i, cache := range caps {
+		row := fmt.Sprintf("%-10d %-12d %-14d %-10.3f",
+			kbs[i], cache, reps[i].Total,
+			100*float64(reps[i].Total)/float64(reps[i].Accesses))
+		if simulate {
+			row += fmt.Sprintf(" %-14d", sims[cache])
+		}
+		fmt.Println(row)
+	}
+	s := ec.Stats()
+	fmt.Printf("component evaluations: %d of %d (cache hit rate %.1f%%)\n",
+		s.Computed, s.Lookups, 100*s.HitRate())
+	sortSites(reps[len(reps)-1])
+	return nil
+}
+
+// sortSites prints the per-site breakdown at the largest capacity in a
+// stable order.
+func sortSites(rep *core.MissReport) {
+	sites := make([]string, 0, len(rep.BySite))
+	for s := range rep.BySite {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	fmt.Printf("per-site misses at %d elements:\n", rep.CacheElems)
+	for _, s := range sites {
+		fmt.Printf("  %-8s %12d\n", s, rep.BySite[s])
+	}
 }

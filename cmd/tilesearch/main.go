@@ -6,12 +6,19 @@
 //	tilesearch -table4                      # the full Table 4 sweep
 //	tilesearch -kernel twoindex -n 1024     # one known-bounds search
 //	tilesearch -kernel matmul -n 512 -cache-kb 16
+//	tilesearch -kernel twoindex -n 1024 -j 8 -exhaustive
+//
+// -j spreads candidate evaluation over a worker pool; results are
+// byte-identical at every parallelism level. -exhaustive scores the full
+// divisor grid instead of the pruned §6 search (the baseline the search is
+// measured against).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"repro/internal/core"
@@ -22,21 +29,23 @@ import (
 
 func main() {
 	var (
-		table4  = flag.Bool("table4", false, "regenerate Table 4")
-		kernel  = flag.String("kernel", "twoindex", "kernel: matmul | twoindex")
-		n       = flag.Int64("n", 256, "loop bound")
-		cacheKB = flag.Int64("cache-kb", 64, "cache size in KB of doubles")
+		table4     = flag.Bool("table4", false, "regenerate Table 4")
+		kernel     = flag.String("kernel", "twoindex", "kernel: matmul | twoindex")
+		n          = flag.Int64("n", 256, "loop bound")
+		cacheKB    = flag.Int64("cache-kb", 64, "cache size in KB of doubles")
+		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "parallel evaluation workers (1 = sequential)")
+		exhaustive = flag.Bool("exhaustive", false, "score the full divisor grid instead of the pruned search")
 	)
 	flag.Parse()
-	if err := run(*table4, *kernel, *n, *cacheKB); err != nil {
+	if err := run(*table4, *kernel, *n, *cacheKB, *jobs, *exhaustive); err != nil {
 		fmt.Fprintln(os.Stderr, "tilesearch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table4 bool, kernel string, n, cacheKB int64) error {
+func run(table4 bool, kernel string, n, cacheKB int64, jobs int, exhaustive bool) error {
 	if table4 {
-		res, err := experiments.RunTable4([]int64{32, 64, 128, 256, 512, 1024})
+		res, err := experiments.RunTable4Parallel([]int64{32, 64, 128, 256, 512, 1024}, jobs)
 		if err != nil {
 			return err
 		}
@@ -71,22 +80,37 @@ func run(table4 bool, kernel string, n, cacheKB int64) error {
 	if err != nil {
 		return err
 	}
-	res, err := tilesearch.Search(a, tilesearch.Options{
-		Dims:       dims,
-		CacheElems: experiments.KB(cacheKB),
-		BaseEnv:    base,
-		DivisorOf:  n,
-	})
+	opt := tilesearch.Options{
+		Dims:        dims,
+		CacheElems:  experiments.KB(cacheKB),
+		BaseEnv:     base,
+		DivisorOf:   n,
+		Parallelism: jobs,
+	}
+	var res *tilesearch.Result
+	if exhaustive {
+		opt.MinTile = 2
+		res, err = tilesearch.Exhaustive(a, opt)
+	} else {
+		res, err = tilesearch.Search(a, opt)
+	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("kernel %s, N=%d, cache %d KB\n", kernel, n, cacheKB)
-	fmt.Printf("best: %s\n", res.Best)
-	fmt.Printf("frontier candidates (coarse phase):\n")
-	for _, c := range res.Frontier {
-		fmt.Printf("  %s\n", c)
+	mode := "search"
+	if exhaustive {
+		mode = "exhaustive"
 	}
-	fmt.Printf("model evaluations: %d\n", res.Evaluated)
+	fmt.Printf("kernel %s, N=%d, cache %d KB, %s, %d workers\n", kernel, n, cacheKB, mode, jobs)
+	fmt.Printf("best: %s\n", res.Best)
+	if len(res.Frontier) > 0 {
+		fmt.Printf("frontier candidates (coarse phase):\n")
+		for _, c := range res.Frontier {
+			fmt.Printf("  %s\n", c)
+		}
+	}
+	fmt.Printf("model evaluations: %d candidates, %d component evaluations (cache hit rate %.1f%%)\n",
+		res.Evaluated, res.Cache.Computed, 100*res.Cache.HitRate())
 	return nil
 }
 

@@ -144,48 +144,71 @@ func (a *Analysis) PredictMisses(env expr.Env, cacheElems int64) (*MissReport, e
 	return rep, nil
 }
 
-func evalComponent(c *Component, env expr.Env, cache int64) (ComponentMisses, error) {
-	cm := ComponentMisses{Component: c}
+// componentValues are the environment-dependent numbers of one component
+// evaluation. They are independent of the cache capacity, so an evaluation
+// cache can compute them once per binding of the component's symbols and
+// classify them against any number of capacities (classifyComponent).
+type componentValues struct {
+	Count int64
+	Inf   bool  // first touch: infinite stack distance
+	Const bool  // constant stack distance (SD below)
+	SD    int64 // constant stack distance value
+	// Variable stack distance: SD(a) = Base + Slope*a for a in [0, Range).
+	Base, Slope, Range int64
+}
+
+// evalComponentValues evaluates the component's expressions under env.
+func evalComponentValues(c *Component, env expr.Env) (componentValues, error) {
+	var v componentValues
 	count, err := c.Count.Eval(env)
 	if err != nil {
-		return cm, err
+		return v, err
 	}
 	if count < 0 {
 		count = 0 // e.g. (trip-1) when a loop has a single iteration
 	}
-	cm.Count = count
+	v.Count = count
 	if c.SD.Base.IsInf() {
-		cm.SDMin, cm.SDMax = -1, -1
-		cm.Misses = count
-		return cm, nil
+		v.Inf = true
+		return v, nil
 	}
 	if c.SD.IsConst() {
-		sd, err := c.SD.Base.Eval(env)
-		if err != nil {
-			return cm, err
+		v.Const = true
+		v.SD, err = c.SD.Base.Eval(env)
+		return v, err
+	}
+	if v.Base, err = c.SD.Base.Eval(env); err != nil {
+		return v, err
+	}
+	if v.Slope, err = c.SD.Slope.Eval(env); err != nil {
+		return v, err
+	}
+	if v.Range, err = c.FreeRange.Eval(env); err != nil {
+		return v, err
+	}
+	if v.Range <= 0 {
+		return v, fmt.Errorf("core: non-positive free range for %s", c.Site.Key())
+	}
+	return v, nil
+}
+
+// classifyComponent compares evaluated component values against a cache
+// capacity: pure arithmetic, no expression evaluation.
+func classifyComponent(c *Component, v componentValues, cache int64) ComponentMisses {
+	cm := ComponentMisses{Component: c, Count: v.Count}
+	if v.Inf {
+		cm.SDMin, cm.SDMax = -1, -1
+		cm.Misses = v.Count
+		return cm
+	}
+	if v.Const {
+		cm.SDMin, cm.SDMax = v.SD, v.SD
+		if v.SD > cache {
+			cm.Misses = v.Count
 		}
-		cm.SDMin, cm.SDMax = sd, sd
-		if sd > cache {
-			cm.Misses = count
-		}
-		return cm, nil
+		return cm
 	}
-	// Variable stack distance: SD(a) = base + slope*a for a in [0, range).
-	base, err := c.SD.Base.Eval(env)
-	if err != nil {
-		return cm, err
-	}
-	slope, err := c.SD.Slope.Eval(env)
-	if err != nil {
-		return cm, err
-	}
-	rng, err := c.FreeRange.Eval(env)
-	if err != nil {
-		return cm, err
-	}
-	if rng <= 0 {
-		return cm, fmt.Errorf("core: non-positive free range for %s", c.Site.Key())
-	}
+	base, slope, rng := v.Base, v.Slope, v.Range
 	lo, hi := base, base+slope*(rng-1)
 	if lo > hi {
 		lo, hi = hi, lo
@@ -214,8 +237,16 @@ func evalComponent(c *Component, env expr.Env, cache int64) (ComponentMisses, er
 	}
 	// count is divisible by rng (the free loop's trip is one of its
 	// factors); each position contributes count/rng instances.
-	cm.Misses = count / rng * missPositions
-	return cm, nil
+	cm.Misses = v.Count / rng * missPositions
+	return cm
+}
+
+func evalComponent(c *Component, env expr.Env, cache int64) (ComponentMisses, error) {
+	v, err := evalComponentValues(c, env)
+	if err != nil {
+		return ComponentMisses{Component: c, Count: v.Count}, err
+	}
+	return classifyComponent(c, v, cache), nil
 }
 
 // MissCurve evaluates the predicted miss count at each capacity, reusing

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/expr"
+)
+
+// EvalCache memoizes the per-component evaluations of an Analysis so that
+// repeated PredictMisses calls — the inner loop of the §6 tile search, which
+// evaluates thousands of nearby environments — compute each distinct
+// (component, relevant bindings) pair exactly once.
+//
+// The key insight is that a component's evaluation depends only on the
+// symbols its Count, SD and FreeRange expressions actually mention, not on
+// the whole environment: a component whose stack distance mentions only TI
+// is re-evaluated only when TI changes, no matter how many other tile sizes
+// the search is varying. Shared subexpressions across candidates therefore
+// collapse into cache hits. The cache stores the capacity-independent
+// componentValues; the comparison against a concrete capacity is a few
+// integer operations done per call, so capacity sweeps over one environment
+// are almost entirely cache hits.
+//
+// EvalCache is safe for concurrent use. Duplicate concurrent evaluations of
+// the same key are coalesced through a per-entry sync.Once, which keeps the
+// Computed statistic deterministic for a deterministic set of queries.
+type EvalCache struct {
+	a        *Analysis
+	comps    []compCache
+	lookups  atomic.Int64
+	computed atomic.Int64
+}
+
+// CacheStats reports EvalCache effectiveness. For a deterministic query
+// pattern the counters are deterministic regardless of concurrency.
+type CacheStats struct {
+	Lookups  int64 // total component evaluations requested
+	Computed int64 // distinct (component, bindings) pairs computed
+}
+
+// HitRate is the fraction of lookups served from the cache.
+func (s CacheStats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return 1 - float64(s.Computed)/float64(s.Lookups)
+}
+
+type compCache struct {
+	c       *Component
+	vars    []string // sorted symbols mentioned by the component's expressions
+	entries sync.Map // key string -> *compEntry
+}
+
+type compEntry struct {
+	once sync.Once
+	v    componentValues
+	err  error
+}
+
+// NewEvalCache builds a cache over the analysis. The analysis must not be
+// mutated afterwards.
+func NewEvalCache(a *Analysis) *EvalCache {
+	ec := &EvalCache{a: a, comps: make([]compCache, len(a.Components))}
+	for i, c := range a.Components {
+		vars := map[string]bool{}
+		c.Count.Vars(vars)
+		c.SD.Base.Vars(vars)
+		if c.SD.Slope != nil {
+			c.SD.Slope.Vars(vars)
+		}
+		if c.FreeRange != nil {
+			c.FreeRange.Vars(vars)
+		}
+		names := make([]string, 0, len(vars))
+		for n := range vars {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		ec.comps[i] = compCache{c: c, vars: names}
+	}
+	return ec
+}
+
+// Analysis returns the underlying analysis.
+func (ec *EvalCache) Analysis() *Analysis { return ec.a }
+
+// Stats returns a snapshot of the cache counters.
+func (ec *EvalCache) Stats() CacheStats {
+	return CacheStats{Lookups: ec.lookups.Load(), Computed: ec.computed.Load()}
+}
+
+// PredictMisses is Analysis.PredictMisses through the cache: identical
+// results, memoized component evaluations.
+func (ec *EvalCache) PredictMisses(env expr.Env, cacheElems int64) (*MissReport, error) {
+	if err := ec.a.Nest.ValidateEnv(env); err != nil {
+		return nil, err
+	}
+	rep := &MissReport{CacheElems: cacheElems, BySite: map[string]int64{}}
+	for i := range ec.comps {
+		cm, err := ec.comps[i].eval(ec, env, cacheElems)
+		if err != nil {
+			return nil, err
+		}
+		rep.Detail = append(rep.Detail, cm)
+		rep.Total += cm.Misses
+		rep.BySite[cm.Component.Site.Key()] += cm.Misses
+		rep.Accesses += cm.Count
+	}
+	return rep, nil
+}
+
+// PredictTotal is a convenience wrapper returning only the total.
+func (ec *EvalCache) PredictTotal(env expr.Env, cacheElems int64) (int64, error) {
+	rep, err := ec.PredictMisses(env, cacheElems)
+	if err != nil {
+		return 0, err
+	}
+	return rep.Total, nil
+}
+
+func (cc *compCache) eval(ec *EvalCache, env expr.Env, cacheElems int64) (ComponentMisses, error) {
+	ec.lookups.Add(1)
+	key := env.Key(cc.vars)
+	v, _ := cc.entries.LoadOrStore(key, &compEntry{})
+	e := v.(*compEntry)
+	e.once.Do(func() {
+		ec.computed.Add(1)
+		e.v, e.err = evalComponentValues(cc.c, env)
+	})
+	if e.err != nil {
+		return ComponentMisses{Component: cc.c, Count: e.v.Count}, e.err
+	}
+	return classifyComponent(cc.c, e.v, cacheElems), nil
+}

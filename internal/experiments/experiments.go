@@ -229,6 +229,13 @@ type Table4Result struct {
 // with a 64 KB cache, with known bounds N ∈ bounds and with unknown bounds
 // (scored on bound-free stack distances with a large surrogate).
 func RunTable4(bounds []int64) (*Table4Result, error) {
+	return RunTable4Parallel(bounds, 1)
+}
+
+// RunTable4Parallel is RunTable4 with the searches spread over the given
+// number of evaluation workers (see tilesearch.Options.Parallelism). The
+// result is identical at every parallelism level.
+func RunTable4Parallel(bounds []int64, parallelism int) (*Table4Result, error) {
 	a, err := TwoIndexAnalysis()
 	if err != nil {
 		return nil, err
@@ -246,6 +253,7 @@ func RunTable4(bounds []int64) (*Table4Result, error) {
 			"NM": surrogate, "NN": surrogate},
 		UnknownBounds: map[string]bool{"NI": true, "NJ": true, "NM": true, "NN": true},
 		DivisorOf:     surrogate,
+		Parallelism:   parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -257,10 +265,11 @@ func RunTable4(bounds []int64) (*Table4Result, error) {
 			max = 512
 		}
 		known, err := tilesearch.Search(a, tilesearch.Options{
-			Dims:       dims(max),
-			CacheElems: cache,
-			BaseEnv:    expr.Env{"NI": n, "NJ": n, "NM": n, "NN": n},
-			DivisorOf:  n,
+			Dims:        dims(max),
+			CacheElems:  cache,
+			BaseEnv:     expr.Env{"NI": n, "NJ": n, "NM": n, "NN": n},
+			DivisorOf:   n,
+			Parallelism: parallelism,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,48 @@
+package expr
+
+import "testing"
+
+func TestEnvKey(t *testing.T) {
+	env := Env{"TI": 32, "TJ": 8, "N": 256}
+	if got := env.Key([]string{"TI", "TJ"}); got != "TI=32 TJ=8" {
+		t.Errorf("Key = %q", got)
+	}
+	if got := env.Key(nil); got != "" {
+		t.Errorf("empty Key = %q", got)
+	}
+	// Missing bindings must not collide with bound ones.
+	bound := Env{"TI": 32, "TK": 1}
+	if env.Key([]string{"TI", "TK"}) == bound.Key([]string{"TI", "TK"}) {
+		t.Error("missing binding collides with a bound value")
+	}
+	if got := env.Key([]string{"TK"}); got != "TK=?" {
+		t.Errorf("missing Key = %q", got)
+	}
+}
+
+func TestEnvFullKeySorted(t *testing.T) {
+	a := Env{"B": 2, "A": 1}
+	b := Env{"A": 1, "B": 2}
+	if a.FullKey() != b.FullKey() {
+		t.Errorf("FullKey not canonical: %q vs %q", a.FullKey(), b.FullKey())
+	}
+	if got := a.FullKey(); got != "A=1 B=2" {
+		t.Errorf("FullKey = %q", got)
+	}
+}
+
+func TestEnvCloneAndMerged(t *testing.T) {
+	base := Env{"N": 8, "T": 2}
+	c := base.Clone()
+	c["N"] = 99
+	if base["N"] != 8 {
+		t.Error("Clone aliases the original")
+	}
+	m := base.Merged(Env{"T": 4, "X": 1})
+	if m["N"] != 8 || m["T"] != 4 || m["X"] != 1 {
+		t.Errorf("Merged = %v", m)
+	}
+	if base["T"] != 2 {
+		t.Error("Merged modified the receiver")
+	}
+}

@@ -1,0 +1,199 @@
+package tilesearch
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+)
+
+// The evaluation engine behind Search and Exhaustive. Candidates are
+// evaluated through two cache layers:
+//
+//  1. a candidate-level cache keyed by the tile assignment, so each distinct
+//     tile vector is scored once per search, and
+//  2. core.EvalCache, which memoizes per-component stack-distance
+//     evaluations on the symbols each component actually mentions, so
+//     candidates sharing tile values in some dimensions share most of the
+//     component work.
+//
+// Batches of candidates are evaluated by a fixed worker pool. Each cache
+// entry is computed under a sync.Once, so duplicate concurrent evaluations
+// coalesce and the Evaluated/CacheStats counters are deterministic for a
+// given search regardless of the parallelism level. Batch results are
+// returned in input order and reduced sequentially, which makes the search
+// outcome — including tie-breaking between equal-miss candidates —
+// byte-identical across parallelism levels.
+type evaluator struct {
+	ec      *core.EvalCache
+	opt     Options
+	ctx     context.Context
+	workers int
+
+	mu    sync.Mutex
+	cands map[string]*candEntry
+}
+
+type candEntry struct {
+	once sync.Once
+	c    Candidate
+	err  error
+}
+
+func newEvaluator(a *core.Analysis, opt Options) *evaluator {
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opt.Parallelism
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 0 {
+		workers = 1
+	}
+	return &evaluator{
+		ec:      core.NewEvalCache(a),
+		opt:     opt,
+		ctx:     ctx,
+		workers: workers,
+		cands:   map[string]*candEntry{},
+	}
+}
+
+// entry returns the cache slot for a tile assignment, creating it if needed.
+func (ev *evaluator) entry(key string) *candEntry {
+	ev.mu.Lock()
+	e, ok := ev.cands[key]
+	if !ok {
+		e = &candEntry{}
+		ev.cands[key] = e
+	}
+	ev.mu.Unlock()
+	return e
+}
+
+// evaluated reports the number of distinct tile assignments scored so far.
+func (ev *evaluator) evaluated() int {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	return len(ev.cands)
+}
+
+// eval scores one tile assignment, memoized on the assignment key.
+func (ev *evaluator) eval(tiles map[string]int64) (Candidate, error) {
+	e := ev.entry(tileKey(tiles, ev.opt.Dims))
+	e.once.Do(func() {
+		e.c, e.err = ev.compute(tiles)
+	})
+	return e.c, e.err
+}
+
+func (ev *evaluator) compute(tiles map[string]int64) (Candidate, error) {
+	env := expr.Env{}
+	for k, v := range ev.opt.BaseEnv {
+		env[k] = v
+	}
+	for k, v := range tiles {
+		env[k] = v
+	}
+	var misses int64
+	var err error
+	if ev.opt.UnknownBounds != nil {
+		misses, err = ev.boundFreeMisses(env)
+	} else {
+		misses, err = ev.ec.PredictTotal(env, ev.opt.CacheElems)
+	}
+	if err != nil {
+		return Candidate{}, err
+	}
+	return Candidate{Tiles: cloneTiles(tiles), Misses: misses}, nil
+}
+
+// evalBatch scores a slice of tile assignments with the worker pool and
+// returns the candidates in input order. The returned error, if any, is the
+// one at the lowest input index, matching what a sequential in-order sweep
+// would report: indices are handed to workers in increasing order and every
+// started item runs to completion, so the earliest failure is always
+// observed. Context cancellation aborts un-started items.
+func (ev *evaluator) evalBatch(assigns []map[string]int64) ([]Candidate, error) {
+	out := make([]Candidate, len(assigns))
+	if ev.workers <= 1 || len(assigns) <= 1 {
+		for i, a := range assigns {
+			if err := ev.ctx.Err(); err != nil {
+				return nil, err
+			}
+			c, err := ev.eval(a)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = c
+		}
+		return out, nil
+	}
+	errs := make([]error, len(assigns))
+	var next int64
+	var nextMu sync.Mutex
+	take := func() int {
+		nextMu.Lock()
+		i := int(next)
+		next++
+		nextMu.Unlock()
+		return i
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < ev.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := take()
+				if i >= len(assigns) {
+					return
+				}
+				if err := ev.ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				out[i], errs[i] = ev.eval(assigns[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// boundFreeMisses scores a candidate in unknown-bounds mode: a component
+// whose stack distance avoids the bound symbols is classified exactly; a
+// component whose stack distance mentions a bound is assumed to miss (the
+// bounds are unknown but large, so any distance proportional to a bound
+// exceeds the cache). Counts use the surrogate bounds, which scale all
+// candidates identically.
+func (ev *evaluator) boundFreeMisses(env expr.Env) (int64, error) {
+	rep, err := ev.ec.PredictMisses(env, ev.opt.CacheElems)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, d := range rep.Detail {
+		c := d.Component
+		if c.SD.Base.IsInf() {
+			continue // compulsory misses are tile-independent
+		}
+		boundSD := c.SD.Base.HasAnyVar(ev.opt.UnknownBounds) ||
+			(c.SD.Slope != nil && c.SD.Slope.HasAnyVar(ev.opt.UnknownBounds))
+		if boundSD {
+			total += d.Count // assumed miss: SD grows with the bounds
+		} else {
+			total += d.Misses
+		}
+	}
+	return total, nil
+}

@@ -11,6 +11,11 @@ import (
 // when DivisorOf is zero) and returns the true optimum over that grid. It
 // exists as the baseline the §6 search is measured against: the search must
 // match its result while evaluating fewer points.
+//
+// The grid is enumerated in deterministic row-major order, scored as one
+// batch on the worker pool (Options.Parallelism), and reduced sequentially,
+// so ties break toward the earliest grid point exactly as a nested
+// sequential sweep would.
 func Exhaustive(a *core.Analysis, opt Options) (*Result, error) {
 	if len(opt.Dims) == 0 {
 		return nil, fmt.Errorf("tilesearch: no dimensions to search")
@@ -18,7 +23,7 @@ func Exhaustive(a *core.Analysis, opt Options) (*Result, error) {
 	if opt.MinTile <= 0 {
 		opt.MinTile = 1
 	}
-	ev := &evaluator{a: a, opt: opt, cache: map[string]Candidate{}}
+	ev := newEvaluator(a, opt)
 	grid := make([][]int64, len(opt.Dims))
 	for i, d := range opt.Dims {
 		if opt.DivisorOf != 0 {
@@ -36,31 +41,14 @@ func Exhaustive(a *core.Analysis, opt Options) (*Result, error) {
 			return nil, fmt.Errorf("tilesearch: empty grid for %s", d.Symbol)
 		}
 	}
-	assign := map[string]int64{}
-	var best *Candidate
-	var sweep func(i int) error
-	sweep = func(i int) error {
-		if i == len(opt.Dims) {
-			c, err := ev.eval(assign)
-			if err != nil {
-				return err
-			}
-			if best == nil || c.Misses < best.Misses {
-				cc := c
-				best = &cc
-			}
-			return nil
-		}
-		for _, s := range grid[i] {
-			assign[opt.Dims[i].Symbol] = s
-			if err := sweep(i + 1); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := sweep(0); err != nil {
+	cands, err := ev.evalBatch(enumerate(grid, opt.Dims))
+	if err != nil {
 		return nil, err
 	}
-	return &Result{Best: *best, Evaluated: len(ev.cache)}, nil
+	best := bestOf(cands)
+	return &Result{
+		Best:      best,
+		Evaluated: ev.evaluated(),
+		Cache:     ev.ec.Stats(),
+	}, nil
 }

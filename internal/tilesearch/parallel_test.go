@@ -1,0 +1,190 @@
+package tilesearch
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// marshal renders a Result (including map-valued tiles, which encoding/json
+// emits with sorted keys) so equality can be asserted byte for byte.
+func marshal(t *testing.T, r *Result) string {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestSearchParallelEquivalence: Search must return byte-identical Results
+// — best candidate, frontier ordering, evaluation count and cache counters —
+// at parallelism levels 1, 2 and 8, on both fixtures.
+func TestSearchParallelEquivalence(t *testing.T) {
+	fixtures := []struct {
+		name string
+		opt  Options
+	}{
+		{"matmul", Options{
+			Dims:       matmulDims(64),
+			CacheElems: 512,
+			BaseEnv:    expr.Env{"N": 64},
+			DivisorOf:  64,
+		}},
+		{"twoindex", Options{
+			Dims:       []Dim{{"TI", 256}, {"TJ", 256}, {"TM", 256}, {"TN", 256}},
+			CacheElems: 8192,
+			BaseEnv:    expr.Env{"NI": 256, "NJ": 256, "NM": 256, "NN": 256},
+			DivisorOf:  256,
+		}},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			var a = analyzedMatmul(t)
+			if fx.name == "twoindex" {
+				a = analyzedTwoIndex(t)
+			}
+			opt := fx.opt
+			opt.Parallelism = 1
+			seq, err := Search(a, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := marshal(t, seq)
+			for _, j := range []int{2, 8} {
+				opt.Parallelism = j
+				par, err := Search(a, opt)
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", j, err)
+				}
+				if got := marshal(t, par); got != want {
+					t.Errorf("parallelism %d diverges from sequential:\nseq %s\npar %s", j, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestExhaustiveParallelEquivalence does the same for the exhaustive
+// baseline, whose single large batch is the main beneficiary of the worker
+// pool.
+func TestExhaustiveParallelEquivalence(t *testing.T) {
+	a := analyzedMatmul(t)
+	opt := Options{
+		Dims:       matmulDims(48),
+		CacheElems: 512,
+		BaseEnv:    expr.Env{"N": 48},
+		DivisorOf:  48,
+		MinTile:    2,
+	}
+	opt.Parallelism = 1
+	seq, err := Exhaustive(a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshal(t, seq)
+	for _, j := range []int{2, 8} {
+		opt.Parallelism = j
+		par, err := Exhaustive(a, opt)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", j, err)
+		}
+		if got := marshal(t, par); got != want {
+			t.Errorf("parallelism %d diverges:\nseq %s\npar %s", j, want, got)
+		}
+	}
+}
+
+// TestSearchPropagatesMissingBound: an environment that lacks a loop bound
+// must surface as an error from every phase and at every parallelism level,
+// never as a silently mis-scored candidate.
+func TestSearchPropagatesMissingBound(t *testing.T) {
+	a := analyzedMatmul(t)
+	for _, j := range []int{1, 4} {
+		opt := Options{
+			Dims:        matmulDims(64),
+			CacheElems:  512,
+			BaseEnv:     expr.Env{}, // missing N
+			DivisorOf:   64,
+			Parallelism: j,
+		}
+		if _, err := Search(a, opt); err == nil {
+			t.Errorf("parallelism %d: Search accepted an env with no bound", j)
+		}
+		if _, err := Exhaustive(a, opt); err == nil {
+			t.Errorf("parallelism %d: Exhaustive accepted an env with no bound", j)
+		}
+	}
+}
+
+// TestSearchErrorDeterministic: the reported error does not depend on the
+// parallelism level (the batch reports the lowest-index failure).
+func TestSearchErrorDeterministic(t *testing.T) {
+	a := analyzedMatmul(t)
+	var msgs []string
+	for _, j := range []int{1, 2, 8} {
+		_, err := Search(a, Options{
+			Dims:        matmulDims(64),
+			CacheElems:  512,
+			BaseEnv:     expr.Env{},
+			DivisorOf:   64,
+			Parallelism: j,
+		})
+		if err == nil {
+			t.Fatalf("parallelism %d: no error", j)
+		}
+		msgs = append(msgs, err.Error())
+	}
+	for _, m := range msgs[1:] {
+		if m != msgs[0] {
+			t.Errorf("error differs across parallelism: %q vs %q", msgs[0], m)
+		}
+	}
+}
+
+// TestSearchCancellation: a pre-cancelled context aborts both entry points.
+func TestSearchCancellation(t *testing.T) {
+	a := analyzedTwoIndex(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := Options{
+		Dims:        []Dim{{"TI", 256}, {"TJ", 256}, {"TM", 256}, {"TN", 256}},
+		CacheElems:  8192,
+		BaseEnv:     expr.Env{"NI": 256, "NJ": 256, "NM": 256, "NN": 256},
+		DivisorOf:   256,
+		Parallelism: 4,
+		Context:     ctx,
+	}
+	if _, err := Search(a, opt); err != context.Canceled {
+		t.Errorf("Search under cancelled context: %v", err)
+	}
+	if _, err := Exhaustive(a, opt); err != context.Canceled {
+		t.Errorf("Exhaustive under cancelled context: %v", err)
+	}
+}
+
+// TestSearchGOMAXPROCSParallelism: negative parallelism resolves to the
+// machine width and still matches the sequential result.
+func TestSearchGOMAXPROCSParallelism(t *testing.T) {
+	a := analyzedMatmul(t)
+	opt := Options{
+		Dims:       matmulDims(64),
+		CacheElems: 512,
+		BaseEnv:    expr.Env{"N": 64},
+		DivisorOf:  64,
+	}
+	seq, err := Search(a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Parallelism = -1
+	par, err := Search(a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if marshal(t, seq) != marshal(t, par) {
+		t.Error("GOMAXPROCS parallelism diverges from sequential")
+	}
+}

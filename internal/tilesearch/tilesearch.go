@@ -15,9 +15,14 @@
 // When loop bounds are unknown at compile time (the paper's Table 4), the
 // search scores candidates using only the stack-distance expressions that do
 // not mention the bound symbols, evaluated with a large surrogate bound.
+//
+// Candidate evaluation is memoized at two levels (see engine.go) and can be
+// spread over a worker pool with Options.Parallelism; results are
+// deterministic and identical across parallelism levels.
 package tilesearch
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -50,6 +55,13 @@ type Options struct {
 	// DivisorOf, when non-zero, restricts tile sizes to divisors of this
 	// value (exact tiling). Defaults to requiring power-of-two sizes only.
 	DivisorOf int64
+	// Parallelism is the number of concurrent model-evaluation workers.
+	// 0 and 1 evaluate sequentially; negative values use GOMAXPROCS. The
+	// search result is byte-identical at every parallelism level.
+	Parallelism int
+	// Context, when non-nil, cancels an in-flight search; Search and
+	// Exhaustive then return the context's error.
+	Context context.Context
 }
 
 // Candidate is one evaluated tile assignment.
@@ -62,7 +74,10 @@ type Candidate struct {
 type Result struct {
 	Best      Candidate
 	Frontier  []Candidate // frontier candidates from the coarse phase
-	Evaluated int         // total model evaluations performed
+	Evaluated int         // distinct tile assignments scored
+	// Cache reports the component-evaluation cache behaviour; for a given
+	// search it is deterministic across parallelism levels.
+	Cache core.CacheStats
 }
 
 // Search runs the §6 algorithm against an analyzed nest.
@@ -73,7 +88,7 @@ func Search(a *core.Analysis, opt Options) (*Result, error) {
 	if opt.MinTile <= 0 {
 		opt.MinTile = 4
 	}
-	ev := &evaluator{a: a, opt: opt, cache: map[string]Candidate{}}
+	ev := newEvaluator(a, opt)
 
 	// Phase 1: coarse sweep over power-of-two sizes.
 	grid := make([][]int64, len(opt.Dims))
@@ -88,27 +103,8 @@ func Search(a *core.Analysis, opt Options) (*Result, error) {
 			grid[i] = []int64{opt.MinTile}
 		}
 	}
-	var coarse []Candidate
-	assign := map[string]int64{}
-	var sweep func(i int) error
-	sweep = func(i int) error {
-		if i == len(opt.Dims) {
-			c, err := ev.eval(assign)
-			if err != nil {
-				return err
-			}
-			coarse = append(coarse, c)
-			return nil
-		}
-		for _, s := range grid[i] {
-			assign[opt.Dims[i].Symbol] = s
-			if err := sweep(i + 1); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := sweep(0); err != nil {
+	coarse, err := ev.evalBatch(enumerate(grid, opt.Dims))
+	if err != nil {
 		return nil, err
 	}
 
@@ -120,29 +116,30 @@ func Search(a *core.Analysis, opt Options) (*Result, error) {
 		return nil, err
 	}
 
-	// Phase 3: refine around frontier points with halved steps.
+	// Phase 3: refine around frontier points with halved steps. Each
+	// round's neighborhood is enumerated in deterministic order and scored
+	// as one parallel batch.
 	best := bestOf(frontier)
 	pool := frontier
 	for step := opt.MinTile / 2; step >= 1; step /= 2 {
-		var next []Candidate
+		var assigns []map[string]int64
 		for _, c := range pool {
 			for _, d := range opt.Dims {
 				for _, delta := range []int64{-step, step} {
-					nt := cloneTiles(c.Tiles)
-					v := nt[d.Symbol] + delta
+					v := c.Tiles[d.Symbol] + delta
 					if v < 1 || v > d.Max {
 						continue
 					}
 					if opt.DivisorOf != 0 && opt.DivisorOf%v != 0 {
 						continue
 					}
-					cand, err := ev.eval(nt2(nt, d.Symbol, v))
-					if err != nil {
-						return nil, err
-					}
-					next = append(next, cand)
+					assigns = append(assigns, nt2(cloneTiles(c.Tiles), d.Symbol, v))
 				}
 			}
+		}
+		next, err := ev.evalBatch(assigns)
+		if err != nil {
+			return nil, err
 		}
 		pool = append(pool, next...)
 		b := bestOf(pool)
@@ -154,72 +151,43 @@ func Search(a *core.Analysis, opt Options) (*Result, error) {
 		pool = topK(pool, 8)
 	}
 
-	return &Result{Best: best, Frontier: frontier, Evaluated: len(ev.cache)}, nil
+	return &Result{
+		Best:      best,
+		Frontier:  frontier,
+		Evaluated: ev.evaluated(),
+		Cache:     ev.ec.Stats(),
+	}, nil
 }
 
-type evaluator struct {
-	a     *core.Analysis
-	opt   Options
-	cache map[string]Candidate
-}
-
-func (ev *evaluator) eval(tiles map[string]int64) (Candidate, error) {
-	key := tileKey(tiles, ev.opt.Dims)
-	if c, ok := ev.cache[key]; ok {
-		return c, nil
+// enumerate builds the cartesian product of the per-dimension grids in
+// row-major order (last dimension fastest), matching a nested sequential
+// sweep.
+func enumerate(grid [][]int64, dims []Dim) []map[string]int64 {
+	total := 1
+	for _, g := range grid {
+		total *= len(g)
 	}
-	env := expr.Env{}
-	for k, v := range ev.opt.BaseEnv {
-		env[k] = v
-	}
-	for k, v := range tiles {
-		env[k] = v
-	}
-	var misses int64
-	var err error
-	if ev.opt.UnknownBounds != nil {
-		misses, err = ev.boundFreeMisses(env)
-	} else {
-		misses, err = ev.a.PredictTotal(env, ev.opt.CacheElems)
-	}
-	if err != nil {
-		return Candidate{}, err
-	}
-	c := Candidate{Tiles: cloneTiles(tiles), Misses: misses}
-	ev.cache[key] = c
-	return c, nil
-}
-
-// boundFreeMisses scores a candidate in unknown-bounds mode: a component
-// whose stack distance avoids the bound symbols is classified exactly; a
-// component whose stack distance mentions a bound is assumed to miss (the
-// bounds are unknown but large, so any distance proportional to a bound
-// exceeds the cache). Counts use the surrogate bounds, which scale all
-// candidates identically.
-func (ev *evaluator) boundFreeMisses(env expr.Env) (int64, error) {
-	rep, err := ev.a.PredictMisses(env, ev.opt.CacheElems)
-	if err != nil {
-		return 0, err
-	}
-	var total int64
-	for _, d := range rep.Detail {
-		c := d.Component
-		if c.SD.Base.IsInf() {
-			continue // compulsory misses are tile-independent
+	out := make([]map[string]int64, 0, total)
+	assign := map[string]int64{}
+	var sweep func(i int)
+	sweep = func(i int) {
+		if i == len(dims) {
+			out = append(out, cloneTiles(assign))
+			return
 		}
-		boundSD := c.SD.Base.HasAnyVar(ev.opt.UnknownBounds) ||
-			(c.SD.Slope != nil && c.SD.Slope.HasAnyVar(ev.opt.UnknownBounds))
-		if boundSD {
-			total += d.Count // assumed miss: SD grows with the bounds
-		} else {
-			total += d.Misses
+		for _, s := range grid[i] {
+			assign[dims[i].Symbol] = s
+			sweep(i + 1)
 		}
 	}
-	return total, nil
+	sweep(0)
+	return out
 }
 
 // frontier keeps coarse candidates that cannot be doubled in any dimension
-// without either leaving the grid or increasing the miss count.
+// without either leaving the grid or increasing the miss count. Doubled
+// points in the power-of-two coarse grid are themselves coarse points, so
+// this phase runs on cache hits and needs no parallel batch.
 func (ev *evaluator) frontier(coarse []Candidate) ([]Candidate, error) {
 	var out []Candidate
 	for _, c := range coarse {
