@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet race fuzz-smoke bench
+.PHONY: all build test check vet race fuzz-smoke bench cover golden
 
 all: build
 
@@ -29,3 +29,17 @@ check: vet race fuzz-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# Golden-file tests for the cmd tools' text output and RunReport JSON.
+# Regenerate with: go test ./cmd/... -update
+golden:
+	$(GO) test -run Golden ./...
+
+# Coverage gate for the observability layer: the instrumentation the run
+# reports depend on must stay ≥ 70% covered.
+cover:
+	$(GO) test -coverprofile=/tmp/obs.cover ./internal/obs
+	@$(GO) tool cover -func=/tmp/obs.cover | awk '/^total:/ { \
+		pct = $$3 + 0; \
+		printf "internal/obs coverage: %s\n", $$3; \
+		if (pct < 70) { print "FAIL: internal/obs coverage below 70%"; exit 1 } }'

@@ -13,17 +13,22 @@
 //	cachechar -kernel fourindex -n 32 -cache-kb 64 -inventory
 //	cachechar -kernel matmul -n 256 -tiles 32,64,32 -cache-kb 8,16,32,64 -j 4
 //	cachechar -file mynest.loop -D N=256 -D TI=32 -cache-kb 64 -validate
+//	cachechar -kernel matmul -n 128 -tiles 16,16,16 -simulate -report run.json
 //
 // -cache-kb accepts a comma-separated list of capacities; predictions for a
 // list are evaluated concurrently (-j workers) through a shared component
 // evaluation cache, so the sweep costs little more than a single point. The
 // -file format is documented in internal/loopir/parse.go; bind its symbols
-// with repeated -D name=value flags.
+// with repeated -D name=value flags. -report writes a RunReport JSON
+// artifact (analyze stage timings, eval-cache and simulator counters — see
+// README.md, Observability); -debug-addr serves /metrics, /debug/vars and
+// /debug/pprof for the duration of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -35,6 +40,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/expr"
 	"repro/internal/loopir"
+	"repro/internal/obs"
 	"repro/internal/validate"
 )
 
@@ -43,26 +49,51 @@ type defineList []string
 func (d *defineList) String() string     { return fmt.Sprint(*d) }
 func (d *defineList) Set(s string) error { *d = append(*d, s); return nil }
 
+// options collects one invocation's flag values; run takes it by value so
+// tests can drive the tool without touching the flag package.
+type options struct {
+	table      int
+	kernel     string
+	file       string
+	simulate   bool
+	doVal      bool
+	dump       bool
+	inventory  bool
+	jsonOut    bool
+	n          int64
+	tiles      string
+	cacheKB    string
+	jobs       int
+	lineElems  int64
+	defines    []string
+	reportPath string
+	debugAddr  string
+	args       []string // recorded verbatim in the run report
+}
+
 func main() {
-	var (
-		table     = flag.Int("table", 0, "regenerate paper table 1, 2 or 3")
-		kernel    = flag.String("kernel", "matmul", "kernel: matmul | twoindex | fourindex")
-		file      = flag.String("file", "", "analyze a loop nest from a file instead of a built-in kernel")
-		simulate  = flag.Bool("simulate", false, "also run the exact trace simulation")
-		doVal     = flag.Bool("validate", false, "per-site predicted-vs-simulated cross-check")
-		dump      = flag.Bool("dump-tree", false, "print the loop nest")
-		inventory = flag.Bool("inventory", false, "print the symbolic component inventory")
-		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON (ad-hoc and -inventory modes)")
-		n         = flag.Int64("n", 256, "loop bound for built-in kernels")
-		tiles     = flag.String("tiles", "", "comma-separated tile sizes")
-		cacheKB   = flag.String("cache-kb", "64", "cache size(s) in KB of doubles, comma-separated")
-		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "parallel evaluation workers for capacity sweeps")
-		lineElems = flag.Int64("line", 0, "also predict with the spatial model at this line size (elements)")
-		defines   defineList
-	)
+	var o options
+	var defines defineList
+	flag.IntVar(&o.table, "table", 0, "regenerate paper table 1, 2 or 3")
+	flag.StringVar(&o.kernel, "kernel", "matmul", "kernel: matmul | twoindex | fourindex")
+	flag.StringVar(&o.file, "file", "", "analyze a loop nest from a file instead of a built-in kernel")
+	flag.BoolVar(&o.simulate, "simulate", false, "also run the exact trace simulation")
+	flag.BoolVar(&o.doVal, "validate", false, "per-site predicted-vs-simulated cross-check")
+	flag.BoolVar(&o.dump, "dump-tree", false, "print the loop nest")
+	flag.BoolVar(&o.inventory, "inventory", false, "print the symbolic component inventory")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit machine-readable JSON (ad-hoc and -inventory modes)")
+	flag.Int64Var(&o.n, "n", 256, "loop bound for built-in kernels")
+	flag.StringVar(&o.tiles, "tiles", "", "comma-separated tile sizes")
+	flag.StringVar(&o.cacheKB, "cache-kb", "64", "cache size(s) in KB of doubles, comma-separated")
+	flag.IntVar(&o.jobs, "j", runtime.GOMAXPROCS(0), "parallel evaluation workers for capacity sweeps")
+	flag.Int64Var(&o.lineElems, "line", 0, "also predict with the spatial model at this line size (elements)")
+	flag.StringVar(&o.reportPath, "report", "", "write a RunReport JSON artifact to this path")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	flag.Var(&defines, "D", "symbol binding name=value for -file nests (repeatable)")
 	flag.Parse()
-	if err := run(*table, *kernel, *file, *simulate, *doVal, *dump, *inventory, *jsonOut, *n, *tiles, *cacheKB, *jobs, *lineElems, defines); err != nil {
+	o.defines = defines
+	o.args = os.Args[1:]
+	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "cachechar:", err)
 		os.Exit(1)
 	}
@@ -87,44 +118,76 @@ func parseCacheKBs(s string) ([]int64, error) {
 	return out, nil
 }
 
-func run(table int, kernel, file string, simulate, doVal, dump, inventory, jsonOut bool,
-	n int64, tiles, cacheKBList string, jobs int, lineElems int64, defines []string) error {
-	switch table {
+func run(w io.Writer, o options) error {
+	var m *obs.Metrics
+	var rep *obs.RunReport
+	if o.reportPath != "" || o.debugAddr != "" {
+		m = obs.New()
+	}
+	if o.reportPath != "" {
+		rep = obs.NewRunReport("cachechar", o.args)
+	}
+	if o.debugAddr != "" {
+		srv, err := obs.StartDebugServer(o.debugAddr, m)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(w, "debug server listening on %s\n", srv.Addr)
+	}
+	finish := func() error {
+		if rep == nil {
+			return nil
+		}
+		rep.AddMetrics(m)
+		if err := rep.WriteFile(o.reportPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "report written to %s\n", o.reportPath)
+		return nil
+	}
+	analyze := func(nest *loopir.Nest) (*core.Analysis, error) {
+		opts := core.DefaultOptions()
+		opts.Obs = m
+		return core.AnalyzeWithOptions(nest, opts)
+	}
+
+	switch o.table {
 	case 1:
 		nest, _, err := experiments.BuildKernel("matmul", 256, nil)
 		if err != nil {
 			return err
 		}
-		a, err := core.Analyze(nest)
+		a, err := analyze(nest)
 		if err != nil {
 			return err
 		}
-		fmt.Println("Table 1: iteration-space partitions and symbolic stack distances")
-		fmt.Print(a.Table())
-		return nil
+		fmt.Fprintln(w, "Table 1: iteration-space partitions and symbolic stack distances")
+		fmt.Fprint(w, a.Table())
+		return finish()
 	case 2:
-		rows, err := experiments.RunTable2(simulate)
+		rows, err := experiments.RunTable2(o.simulate)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.FormatMissRows(
+		fmt.Fprint(w, experiments.FormatMissRows(
 			"Table 2: cache miss prediction for the tiled two-index transform", rows))
-		return nil
+		return finish()
 	case 3:
-		rows, err := experiments.RunTable3(simulate)
+		rows, err := experiments.RunTable3(o.simulate)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.FormatMissRows(
+		fmt.Fprint(w, experiments.FormatMissRows(
 			"Table 3: cache miss prediction for tiled matrix multiplication", rows))
-		return nil
+		return finish()
 	case 0:
 		// ad-hoc mode below
 	default:
-		return fmt.Errorf("unknown table %d (want 1, 2 or 3)", table)
+		return fmt.Errorf("unknown table %d (want 1, 2 or 3)", o.table)
 	}
 
-	kbs, err := parseCacheKBs(cacheKBList)
+	kbs, err := parseCacheKBs(o.cacheKB)
 	if err != nil {
 		return err
 	}
@@ -137,114 +200,132 @@ func run(table int, kernel, file string, simulate, doVal, dump, inventory, jsonO
 		nest *loopir.Nest
 		env  expr.Env
 	)
-	if file != "" {
-		defs, derr := experiments.ParseDefines(defines)
+	if o.file != "" {
+		defs, derr := experiments.ParseDefines(o.defines)
 		if derr != nil {
 			return derr
 		}
-		nest, env, err = experiments.LoadNestFile(file, defs)
+		nest, env, err = experiments.LoadNestFile(o.file, defs)
 	} else {
-		ts, terr := experiments.ParseTiles(tiles)
+		ts, terr := experiments.ParseTiles(o.tiles)
 		if terr != nil {
 			return terr
 		}
-		nest, env, err = experiments.BuildKernel(kernel, n, ts)
+		nest, env, err = experiments.BuildKernel(o.kernel, o.n, ts)
 	}
 	if err != nil {
 		return err
 	}
-	if dump {
-		fmt.Print(loopir.Unparse(nest))
-		return nil
+	if o.dump {
+		fmt.Fprint(w, loopir.Unparse(nest))
+		return finish()
 	}
-	a, err := core.Analyze(nest)
+	a, err := analyze(nest)
 	if err != nil {
 		return err
 	}
-	if inventory {
-		if jsonOut {
+	if o.inventory {
+		if o.jsonOut {
 			data, err := a.InventoryJSON()
 			if err != nil {
 				return err
 			}
-			fmt.Println(string(data))
-			return nil
+			fmt.Fprintln(w, string(data))
+			return finish()
 		}
-		fmt.Print(a.Table())
-		return nil
+		fmt.Fprint(w, a.Table())
+		return finish()
 	}
-	if doVal {
-		cmps, err := validate.Run(a, env, caps)
+	if o.doVal {
+		cmps, err := validate.RunObserved(a, env, caps, m)
 		if err != nil {
 			return err
 		}
-		fmt.Print(validate.Format(cmps))
-		return validate.CheckCompulsory(cmps)
+		fmt.Fprint(w, validate.Format(cmps))
+		if err := validate.CheckCompulsory(cmps); err != nil {
+			return err
+		}
+		return finish()
 	}
 	if len(caps) > 1 {
-		if jsonOut {
+		if o.jsonOut {
 			return fmt.Errorf("-json supports a single -cache-kb value")
 		}
-		if lineElems > 0 {
+		if o.lineElems > 0 {
 			return fmt.Errorf("-line supports a single -cache-kb value")
 		}
-		return capacitySweep(a, nest, env, kbs, caps, jobs, simulate)
+		if err := capacitySweep(w, a, nest, env, kbs, caps, o.jobs, o.simulate, m); err != nil {
+			return err
+		}
+		return finish()
 	}
 
 	cache := caps[0]
-	rep, err := a.PredictMisses(env, cache)
+	rep2, err := a.PredictMisses(env, cache)
 	if err != nil {
 		return err
 	}
-	if jsonOut {
-		data, err := a.ReportToJSON(env, rep)
+	if o.jsonOut {
+		data, err := a.ReportToJSON(env, rep2)
 		if err != nil {
 			return err
 		}
-		fmt.Println(string(data))
-		return nil
+		fmt.Fprintln(w, string(data))
+		return finish()
 	}
-	fmt.Printf("nest %s  env %v  cache %d KB (%d elements)\n", nest.Name, env, kbs[0], cache)
-	fmt.Printf("accesses  %d\n", rep.Accesses)
-	fmt.Printf("predicted %d misses (%.3f%% of accesses)\n",
-		rep.Total, 100*float64(rep.Total)/float64(rep.Accesses))
-	for site, m := range rep.BySite {
-		fmt.Printf("  %-8s %12d\n", site, m)
+	fmt.Fprintf(w, "nest %s  env %v  cache %d KB (%d elements)\n", nest.Name, env, kbs[0], cache)
+	fmt.Fprintf(w, "accesses  %d\n", rep2.Accesses)
+	fmt.Fprintf(w, "predicted %d misses (%.3f%% of accesses)\n",
+		rep2.Total, 100*float64(rep2.Total)/float64(rep2.Accesses))
+	// Sorted for stable output (map order would shuffle the golden files).
+	sites := make([]string, 0, len(rep2.BySite))
+	for site := range rep2.BySite {
+		sites = append(sites, site)
 	}
-	if lineElems > 0 {
-		lrep, err := a.PredictLineMisses(env, cache, lineElems)
+	sort.Strings(sites)
+	for _, site := range sites {
+		fmt.Fprintf(w, "  %-8s %12d\n", site, rep2.BySite[site])
+	}
+	if o.lineElems > 0 {
+		lrep, err := a.PredictLineMisses(env, cache, o.lineElems)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("spatial model (%d-element lines): %d misses (%.3f%%)\n",
-			lineElems, lrep.Total, 100*float64(lrep.Total)/float64(lrep.Accesses))
+		fmt.Fprintf(w, "spatial model (%d-element lines): %d misses (%.3f%%)\n",
+			o.lineElems, lrep.Total, 100*float64(lrep.Total)/float64(lrep.Accesses))
 	}
-	if simulate {
-		cmps, err := validate.Run(a, env, []int64{cache})
+	if o.simulate {
+		cmps, err := validate.RunObserved(a, env, []int64{cache}, m)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("simulated %d misses (rel err %.3f%%)\n",
+		fmt.Fprintf(w, "simulated %d misses (rel err %.3f%%)\n",
 			cmps[0].SimulatedTotal, 100*cmps[0].RelErr())
 	}
-	return nil
+	if rep != nil {
+		rep.SetExtra("nest", nest.Name)
+		rep.SetExtra("cacheKB", kbs[0])
+		rep.SetExtra("predictedMisses", rep2.Total)
+		rep.SetExtra("accesses", rep2.Accesses)
+	}
+	return finish()
 }
 
 // capacitySweep predicts misses at every capacity concurrently through one
 // shared component-evaluation cache: capacities share all environment-
 // dependent work, so the sweep recomputes only the capacity comparisons.
-func capacitySweep(a *core.Analysis, nest *loopir.Nest, env expr.Env,
-	kbs, caps []int64, jobs int, simulate bool) error {
+func capacitySweep(w io.Writer, a *core.Analysis, nest *loopir.Nest, env expr.Env,
+	kbs, caps []int64, jobs int, simulate bool, m *obs.Metrics) error {
 	if jobs < 1 {
 		jobs = 1
 	}
-	ec := core.NewEvalCache(a)
+	ec := core.NewEvalCacheWithMetrics(a, m)
 	reps := make([]*core.MissReport, len(caps))
 	errs := make([]error, len(caps))
 	var next int
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for w := 0; w < jobs; w++ {
+	for wkr := 0; wkr < jobs; wkr++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -268,7 +349,7 @@ func capacitySweep(a *core.Analysis, nest *loopir.Nest, env expr.Env,
 	}
 	var sims map[int64]int64
 	if simulate {
-		cmps, err := validate.Run(a, env, caps)
+		cmps, err := validate.RunObserved(a, env, caps, m)
 		if err != nil {
 			return err
 		}
@@ -277,13 +358,13 @@ func capacitySweep(a *core.Analysis, nest *loopir.Nest, env expr.Env,
 			sims[c.CacheElems] = c.SimulatedTotal
 		}
 	}
-	fmt.Printf("nest %s  env %v  (%d workers)\n", nest.Name, env, jobs)
-	fmt.Printf("accesses  %d\n", reps[0].Accesses)
+	fmt.Fprintf(w, "nest %s  env %v  (%d workers)\n", nest.Name, env, jobs)
+	fmt.Fprintf(w, "accesses  %d\n", reps[0].Accesses)
 	header := fmt.Sprintf("%-10s %-12s %-14s %-10s", "cache-kb", "elements", "predicted", "miss-%")
 	if simulate {
 		header += fmt.Sprintf(" %-14s", "simulated")
 	}
-	fmt.Println(header)
+	fmt.Fprintln(w, header)
 	for i, cache := range caps {
 		row := fmt.Sprintf("%-10d %-12d %-14d %-10.3f",
 			kbs[i], cache, reps[i].Total,
@@ -291,25 +372,25 @@ func capacitySweep(a *core.Analysis, nest *loopir.Nest, env expr.Env,
 		if simulate {
 			row += fmt.Sprintf(" %-14d", sims[cache])
 		}
-		fmt.Println(row)
+		fmt.Fprintln(w, row)
 	}
 	s := ec.Stats()
-	fmt.Printf("component evaluations: %d of %d (cache hit rate %.1f%%)\n",
+	fmt.Fprintf(w, "component evaluations: %d of %d (cache hit rate %.1f%%)\n",
 		s.Computed, s.Lookups, 100*s.HitRate())
-	sortSites(reps[len(reps)-1])
+	sortSites(w, reps[len(reps)-1])
 	return nil
 }
 
 // sortSites prints the per-site breakdown at the largest capacity in a
 // stable order.
-func sortSites(rep *core.MissReport) {
+func sortSites(w io.Writer, rep *core.MissReport) {
 	sites := make([]string, 0, len(rep.BySite))
 	for s := range rep.BySite {
 		sites = append(sites, s)
 	}
 	sort.Strings(sites)
-	fmt.Printf("per-site misses at %d elements:\n", rep.CacheElems)
+	fmt.Fprintf(w, "per-site misses at %d elements:\n", rep.CacheElems)
 	for _, s := range sites {
-		fmt.Printf("  %-8s %12d\n", s, rep.BySite[s])
+		fmt.Fprintf(w, "  %-8s %12d\n", s, rep.BySite[s])
 	}
 }

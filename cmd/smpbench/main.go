@@ -20,12 +20,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/expr"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/smp"
 )
 
@@ -39,33 +41,69 @@ func toEnv(m map[string]int64) expr.Env {
 
 func main() {
 	var (
-		n       = flag.Int64("n", 1024, "loop range (1024 = Fig. 10, 2048 = Fig. 11)")
-		run     = flag.Bool("run", false, "also execute the native kernel with goroutines")
-		speedup = flag.Bool("speedup", false, "print the speedup/efficiency table for the predicted tile")
+		n         = flag.Int64("n", 1024, "loop range (1024 = Fig. 10, 2048 = Fig. 11)")
+		run       = flag.Bool("run", false, "also execute the native kernel with goroutines")
+		speedup   = flag.Bool("speedup", false, "print the speedup/efficiency table for the predicted tile")
+		report    = flag.String("report", "", "write a RunReport JSON artifact to this path")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
-	if err := mainE(*n, *run, *speedup); err != nil {
+	if err := mainE(os.Stdout, os.Args[1:], *n, *run, *speedup, *report, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "smpbench:", err)
 		os.Exit(1)
 	}
 }
 
-func mainE(n int64, run, speedup bool) error {
+func mainE(w io.Writer, args []string, n int64, run, speedup bool, reportPath, debugAddr string) error {
+	var m *obs.Metrics
+	var rep *obs.RunReport
+	if reportPath != "" || debugAddr != "" {
+		m = obs.New()
+	}
+	if reportPath != "" {
+		rep = obs.NewRunReport("smpbench", args)
+	}
+	if debugAddr != "" {
+		srv, err := obs.StartDebugServer(debugAddr, m)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(w, "debug server listening on %s\n", srv.Addr)
+	}
+	finish := func() error {
+		if rep == nil {
+			return nil
+		}
+		rep.AddMetrics(m)
+		if err := rep.WriteFile(reportPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "report written to %s\n", reportPath)
+		return nil
+	}
 	fig := "Figure 10"
 	if n == 2048 {
 		fig = "Figure 11"
 	} else if n != 1024 {
 		fig = fmt.Sprintf("Figure 10/11 analogue at N=%d", n)
 	}
+	figSW := m.Timer("smpbench.figure").Start()
 	pts, err := experiments.RunFigure(n)
+	figSW.Stop()
 	if err != nil {
 		return err
 	}
-	fmt.Print(experiments.FormatFigure(
+	fmt.Fprint(w, experiments.FormatFigure(
 		fmt.Sprintf("%s: two-index transform, loop range %d, 64 KB cache, model time", fig, n), pts))
+	if rep != nil {
+		rep.SetExtra("n", n)
+		rep.SetExtra("figure", fig)
+		rep.SetExtra("points", len(pts))
+	}
 
 	if speedup {
-		a, err := experiments.TwoIndexAnalysis()
+		a, err := experiments.AnalyzedKernel("twoindex", m)
 		if err != nil {
 			return err
 		}
@@ -87,15 +125,15 @@ func mainE(n int64, run, speedup bool) error {
 			}
 			preds = append(preds, pred)
 		}
-		fmt.Println()
-		fmt.Print(smp.FormatPredictions(
+		fmt.Fprintln(w)
+		fmt.Fprint(w, smp.FormatPredictions(
 			"speedup/efficiency (infinite-bandwidth limit, predicted tile):", preds, model))
 	}
 
 	if !run {
-		return nil
+		return finish()
 	}
-	fmt.Println("\nnative goroutine execution (wall clock):")
+	fmt.Fprintln(w, "\nnative goroutine execution (wall clock):")
 	a := kernels.NewMatrix(int(n), int(n))
 	c1 := kernels.NewMatrix(int(n), int(n))
 	c2 := kernels.NewMatrix(int(n), int(n))
@@ -108,7 +146,7 @@ func mainE(n int64, run, speedup bool) error {
 		if err := smp.RunParallelTwoIndex(a, c1, c2, b, 64, 16, 16, 64, procs); err != nil {
 			return err
 		}
-		fmt.Printf("  P=%d tiles=(64,16,16,64): %v\n", procs, time.Since(start))
+		fmt.Fprintf(w, "  P=%d tiles=(64,16,16,64): %v\n", procs, time.Since(start))
 	}
-	return nil
+	return finish()
 }

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// golden compares got against testdata/<name>, rewriting the file under
+// -update.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenSearchText pins the human-readable output of a small known-
+// bounds search. Sequential (-j 1) so the result, the frontier ordering and
+// the cache accounting are all deterministic.
+func TestGoldenSearchText(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, nil, false, "matmul", 64, 4, 1, false, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "search_matmul_n64.txt", buf.Bytes())
+}
+
+// TestGoldenExhaustiveText pins the exhaustive-baseline output on a grid
+// small enough to score in milliseconds.
+func TestGoldenExhaustiveText(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, nil, false, "matmul", 24, 4, 1, true, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "exhaustive_matmul_n24.txt", buf.Bytes())
+}
+
+// TestGoldenRunReport pins the normalized RunReport JSON of a sequential
+// search: tool name, args, every deterministic counter/gauge, timer
+// observation counts, span structure and the tool extras. Normalize zeroes
+// the wall-clock fields first; -j 1 keeps the nondeterministic worker.*
+// family out of the report entirely.
+func TestGoldenRunReport(t *testing.T) {
+	reportPath := filepath.Join(t.TempDir(), "report.json")
+	var buf bytes.Buffer
+	args := []string{"-kernel", "matmul", "-n", "64", "-cache-kb", "4", "-j", "1", "-report", "report.json"}
+	if err := run(&buf, args, false, "matmul", 64, 4, 1, false, reportPath, ""); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := obs.ReadReportFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WallNanos <= 0 {
+		t.Errorf("report wall time %d, want positive", rep.WallNanos)
+	}
+	rep.Normalize()
+	b, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "report_search_matmul_n64.json", b)
+}

@@ -7,16 +7,23 @@
 //	tilesearch -kernel twoindex -n 1024     # one known-bounds search
 //	tilesearch -kernel matmul -n 512 -cache-kb 16
 //	tilesearch -kernel twoindex -n 1024 -j 8 -exhaustive
+//	tilesearch -kernel matmul -n 256 -report run.json
+//	tilesearch -table4 -debug-addr localhost:8080
 //
 // -j spreads candidate evaluation over a worker pool; results are
 // byte-identical at every parallelism level. -exhaustive scores the full
 // divisor grid instead of the pruned §6 search (the baseline the search is
-// measured against).
+// measured against). -report writes a RunReport JSON artifact (analysis
+// stage timings, per-phase candidate counts, evaluation-cache accounting,
+// search phase spans — see README.md, Observability). -debug-addr serves
+// /metrics, /debug/vars and /debug/pprof on the given address for the
+// duration of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -24,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/tilesearch"
 )
 
@@ -35,27 +43,66 @@ func main() {
 		cacheKB    = flag.Int64("cache-kb", 64, "cache size in KB of doubles")
 		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "parallel evaluation workers (1 = sequential)")
 		exhaustive = flag.Bool("exhaustive", false, "score the full divisor grid instead of the pruned search")
+		report     = flag.String("report", "", "write a RunReport JSON artifact to this path")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
-	if err := run(*table4, *kernel, *n, *cacheKB, *jobs, *exhaustive); err != nil {
+	if err := run(os.Stdout, os.Args[1:], *table4, *kernel, *n, *cacheKB, *jobs, *exhaustive, *report, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "tilesearch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table4 bool, kernel string, n, cacheKB int64, jobs int, exhaustive bool) error {
-	if table4 {
-		res, err := experiments.RunTable4Parallel([]int64{32, 64, 128, 256, 512, 1024}, jobs)
+// run executes one tool invocation. args is recorded verbatim in the run
+// report (main passes os.Args[1:]; tests pass a fixed slice so golden
+// reports stay stable).
+func run(w io.Writer, args []string, table4 bool, kernel string, n, cacheKB int64, jobs int,
+	exhaustive bool, reportPath, debugAddr string) error {
+	// Observability is active whenever anything consumes it; a nil registry
+	// disables every instrument downstream.
+	var m *obs.Metrics
+	var tr *obs.Trace
+	var rep *obs.RunReport
+	if reportPath != "" || debugAddr != "" {
+		m = obs.New()
+		tr = obs.NewTrace()
+	}
+	if reportPath != "" {
+		rep = obs.NewRunReport("tilesearch", args)
+	}
+	if debugAddr != "" {
+		srv, err := obs.StartDebugServer(debugAddr, m)
 		if err != nil {
 			return err
 		}
-		fmt.Println("Table 4: best tile sizes, two-index transform, 64 KB cache")
-		fmt.Printf("%-8s %-28s %-28s\n", "N", "best with known bounds", "best with unknown bounds")
+		defer srv.Close()
+		fmt.Fprintf(w, "debug server listening on %s\n", srv.Addr)
+	}
+	finish := func() error {
+		if rep == nil {
+			return nil
+		}
+		rep.AddMetrics(m)
+		rep.AddTrace(tr)
+		if err := rep.WriteFile(reportPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "report written to %s\n", reportPath)
+		return nil
+	}
+
+	if table4 {
+		res, err := experiments.RunTable4Observed([]int64{32, 64, 128, 256, 512, 1024}, jobs, m)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Table 4: best tile sizes, two-index transform, 64 KB cache")
+		fmt.Fprintf(w, "%-8s %-28s %-28s\n", "N", "best with known bounds", "best with unknown bounds")
 		unk := renderTiles(res.UnknownBest)
 		for _, row := range res.Rows {
-			fmt.Printf("%-8d %-28s %-28s\n", row.N, renderTiles(row.KnownBest), unk)
+			fmt.Fprintf(w, "%-8d %-28s %-28s\n", row.N, renderTiles(row.KnownBest), unk)
 		}
-		return nil
+		return finish()
 	}
 
 	var (
@@ -64,21 +111,33 @@ func run(table4 bool, kernel string, n, cacheKB int64, jobs int, exhaustive bool
 		base expr.Env
 		err  error
 	)
+	// With observability on, analyze fresh so the report carries this run's
+	// analyze.* stage timings; otherwise reuse the process-cached analyses.
+	if m != nil {
+		a, err = experiments.AnalyzedKernel(kernel, m)
+	} else {
+		switch kernel {
+		case "twoindex":
+			a, err = experiments.TwoIndexAnalysis()
+		case "matmul":
+			a, err = experiments.MatmulAnalysis()
+		default:
+			err = fmt.Errorf("unknown kernel %q", kernel)
+		}
+	}
+	if err != nil {
+		return err
+	}
 	switch kernel {
 	case "twoindex":
-		a, err = experiments.TwoIndexAnalysis()
 		dims = []tilesearch.Dim{{Symbol: "TI", Max: n}, {Symbol: "TJ", Max: n},
 			{Symbol: "TM", Max: n}, {Symbol: "TN", Max: n}}
 		base = expr.Env{"NI": n, "NJ": n, "NM": n, "NN": n}
 	case "matmul":
-		a, err = experiments.MatmulAnalysis()
 		dims = []tilesearch.Dim{{Symbol: "TI", Max: n}, {Symbol: "TJ", Max: n}, {Symbol: "TK", Max: n}}
 		base = expr.Env{"N": n}
 	default:
 		return fmt.Errorf("unknown kernel %q", kernel)
-	}
-	if err != nil {
-		return err
 	}
 	opt := tilesearch.Options{
 		Dims:        dims,
@@ -86,6 +145,8 @@ func run(table4 bool, kernel string, n, cacheKB int64, jobs int, exhaustive bool
 		BaseEnv:     base,
 		DivisorOf:   n,
 		Parallelism: jobs,
+		Obs:         m,
+		Trace:       tr,
 	}
 	var res *tilesearch.Result
 	if exhaustive {
@@ -101,17 +162,26 @@ func run(table4 bool, kernel string, n, cacheKB int64, jobs int, exhaustive bool
 	if exhaustive {
 		mode = "exhaustive"
 	}
-	fmt.Printf("kernel %s, N=%d, cache %d KB, %s, %d workers\n", kernel, n, cacheKB, mode, jobs)
-	fmt.Printf("best: %s\n", res.Best)
+	fmt.Fprintf(w, "kernel %s, N=%d, cache %d KB, %s, %d workers\n", kernel, n, cacheKB, mode, jobs)
+	fmt.Fprintf(w, "best: %s\n", res.Best)
 	if len(res.Frontier) > 0 {
-		fmt.Printf("frontier candidates (coarse phase):\n")
+		fmt.Fprintf(w, "frontier candidates (coarse phase):\n")
 		for _, c := range res.Frontier {
-			fmt.Printf("  %s\n", c)
+			fmt.Fprintf(w, "  %s\n", c)
 		}
 	}
-	fmt.Printf("model evaluations: %d candidates, %d component evaluations (cache hit rate %.1f%%)\n",
+	fmt.Fprintf(w, "model evaluations: %d candidates, %d component evaluations (cache hit rate %.1f%%)\n",
 		res.Evaluated, res.Cache.Computed, 100*res.Cache.HitRate())
-	return nil
+	if rep != nil {
+		rep.SetExtra("kernel", kernel)
+		rep.SetExtra("n", n)
+		rep.SetExtra("cacheKB", cacheKB)
+		rep.SetExtra("mode", mode)
+		rep.SetExtra("bestTiles", res.Best.Tiles)
+		rep.SetExtra("bestMisses", res.Best.Misses)
+		rep.SetExtra("evaluated", res.Evaluated)
+	}
+	return finish()
 }
 
 func renderTiles(t map[string]int64) string {

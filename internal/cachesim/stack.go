@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // InfSD is the sentinel stack distance reported for first touches.
@@ -82,6 +84,13 @@ type StackSim struct {
 	cap     int64
 	active  int64 // number of distinct addresses seen
 	res     Results
+	// Plain (non-atomic) operation counters: the simulator is single-
+	// threaded and the hot path must not pay for synchronization. ops
+	// counts Fenwick-tree operations (one per fenAdd/fenPrefix call);
+	// compactions counts timeline rebuilds. FlushMetrics publishes them.
+	ops         int64
+	compactions int64
+	flushed     struct{ accesses, distinct, ops, compactions int64 }
 	// OnSD, if non-nil, receives every access's site and stack distance
 	// (InfSD for first touches). Used by tests and model validation.
 	OnSD func(site int, sd int64)
@@ -117,12 +126,14 @@ func NewStackSim(addrSpace int64, nSites int, watches []int64) *StackSim {
 }
 
 func (s *StackSim) fenAdd(i, delta int64) {
+	s.ops++
 	for ; i <= s.cap; i += i & (-i) {
 		s.fen[i] += delta
 	}
 }
 
 func (s *StackSim) fenPrefix(i int64) int64 {
+	s.ops++
 	var sum int64
 	for ; i > 0; i -= i & (-i) {
 		sum += s.fen[i]
@@ -176,6 +187,7 @@ func (s *StackSim) Access(site int, addr int64) {
 // rebuilds the Fenwick tree. Runs O(cap) but only once per ~addrSpace
 // accesses, so the amortized cost per access is O(1).
 func (s *StackSim) compact() {
+	s.compactions++
 	next := int64(1)
 	for slot := int64(1); slot <= s.cap; slot++ {
 		addr := s.addrAt[slot]
@@ -210,6 +222,27 @@ func (s *StackSim) Results() Results {
 		}
 	}
 	return out
+}
+
+// FlushMetrics publishes the simulator's operation totals accumulated since
+// the previous flush into the registry's "cachesim.*" counters: accesses,
+// distinct addresses, Fenwick-tree stack operations and timeline
+// compactions. Counters (not gauges) so that several simulator instances in
+// one run — e.g. a multi-capacity validation sweep — aggregate naturally.
+// Nil registry is a no-op. The simulator itself never touches the registry
+// on its access path, keeping the hot loop synchronization-free.
+func (s *StackSim) FlushMetrics(m *obs.Metrics) {
+	if m == nil {
+		return
+	}
+	m.Counter("cachesim.accesses").Add(s.res.Accesses - s.flushed.accesses)
+	m.Counter("cachesim.distinct").Add(s.res.Distinct - s.flushed.distinct)
+	m.Counter("cachesim.stack_ops").Add(s.ops - s.flushed.ops)
+	m.Counter("cachesim.compactions").Add(s.compactions - s.flushed.compactions)
+	s.flushed.accesses = s.res.Accesses
+	s.flushed.distinct = s.res.Distinct
+	s.flushed.ops = s.ops
+	s.flushed.compactions = s.compactions
 }
 
 // MissesFor returns the exact miss count for the watched capacity c.

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/expr"
 	"repro/internal/loopir"
+	"repro/internal/obs"
 )
 
 // Analysis is the compile-time cache model of a nest: the full component
@@ -42,6 +44,12 @@ type Options struct {
 	// (the geometry the paper's Fig. 3 source selection implies), instead
 	// of being costed as one complete body iteration.
 	TailToHeadWrap bool
+	// Obs, when non-nil, receives the analysis-stage instruments: the
+	// "analyze.class", "analyze.partition", "analyze.span" and
+	// "analyze.total" timers (the first three are disjoint and sum to at
+	// most the total) and the "analyze.sites" / "analyze.components"
+	// counters. Nil disables instrumentation at no cost.
+	Obs *obs.Metrics
 }
 
 // DefaultOptions is the full model: all refinements enabled.
@@ -58,17 +66,48 @@ func Analyze(nest *loopir.Nest) (*Analysis, error) {
 
 // AnalyzeWithOptions is Analyze with explicit model refinements, for
 // ablation experiments.
+//
+// With opts.Obs set, the run is decomposed into three disjoint timed
+// stages — "analyze.class" (class validation), "analyze.span" (span/stack-
+// distance costing inside the span coster) and "analyze.partition" (the
+// Fig. 3 partition walk minus the span costing it triggers) — plus the
+// enclosing "analyze.total".
 func AnalyzeWithOptions(nest *loopir.Nest, opts Options) (*Analysis, error) {
-	if err := checkClass(nest); err != nil {
+	m := opts.Obs
+	total := m.Timer("analyze.total").Start()
+	defer total.Stop()
+
+	classSW := m.Timer("analyze.class").Start()
+	err := checkClass(nest)
+	classSW.Stop()
+	if err != nil {
 		return nil, err
 	}
+
 	a := &Analysis{Nest: nest, sc: newSpanCoster(nest, opts)}
+	spanTimer := m.Timer("analyze.span")
+	partStart := time.Time{}
+	if m != nil {
+		partStart = time.Now()
+	}
+	spanBefore := spanTimer.Stats().Nanos
 	for _, site := range nest.Sites() {
 		comps, err := a.partition(site)
 		if err != nil {
 			return nil, err
 		}
 		a.Components = append(a.Components, comps...)
+		m.Counter("analyze.sites").Inc()
+		m.Counter("analyze.components").Add(int64(len(comps)))
+	}
+	if m != nil {
+		// The span coster accounts its own time; report the walk without it
+		// so the stage timers stay disjoint.
+		walk := time.Since(partStart) - time.Duration(spanTimer.Stats().Nanos-spanBefore)
+		if walk < 0 {
+			walk = 0
+		}
+		m.Timer("analyze.partition").Observe(walk)
 	}
 	return a, nil
 }

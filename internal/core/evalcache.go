@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
 )
 
 // EvalCache memoizes the per-component evaluations of an Analysis so that
@@ -31,6 +32,14 @@ type EvalCache struct {
 	comps    []compCache
 	lookups  atomic.Int64
 	computed atomic.Int64
+
+	// Observability instruments (nil when constructed without metrics; the
+	// hot path then pays one nil test per event). hits+misses == lookups
+	// always; coalesced counts the subset of hits that had to wait for a
+	// concurrent computation of the same key and is therefore zero in
+	// sequential use; entries tracks the number of distinct keys stored.
+	mLookups, mHits, mMisses, mCoalesced *obs.Counter
+	mEntries                             *obs.Gauge
 }
 
 // CacheStats reports EvalCache effectiveness. For a deterministic query
@@ -56,6 +65,7 @@ type compCache struct {
 
 type compEntry struct {
 	once sync.Once
+	done atomic.Bool // set inside once, after v/err are assigned
 	v    componentValues
 	err  error
 }
@@ -63,7 +73,23 @@ type compEntry struct {
 // NewEvalCache builds a cache over the analysis. The analysis must not be
 // mutated afterwards.
 func NewEvalCache(a *Analysis) *EvalCache {
-	ec := &EvalCache{a: a, comps: make([]compCache, len(a.Components))}
+	return NewEvalCacheWithMetrics(a, nil)
+}
+
+// NewEvalCacheWithMetrics is NewEvalCache with observability: lookups,
+// hits, misses and coalesced waits are recorded under "evalcache.*"
+// counters and the distinct-entry count under the "evalcache.entries"
+// gauge. A nil registry disables recording.
+func NewEvalCacheWithMetrics(a *Analysis, m *obs.Metrics) *EvalCache {
+	ec := &EvalCache{
+		a:          a,
+		comps:      make([]compCache, len(a.Components)),
+		mLookups:   m.Counter("evalcache.lookups"),
+		mHits:      m.Counter("evalcache.hits"),
+		mMisses:    m.Counter("evalcache.misses"),
+		mCoalesced: m.Counter("evalcache.coalesced"),
+		mEntries:   m.Gauge("evalcache.entries"),
+	}
 	for i, c := range a.Components {
 		vars := map[string]bool{}
 		c.Count.Vars(vars)
@@ -123,13 +149,32 @@ func (ec *EvalCache) PredictTotal(env expr.Env, cacheElems int64) (int64, error)
 
 func (cc *compCache) eval(ec *EvalCache, env expr.Env, cacheElems int64) (ComponentMisses, error) {
 	ec.lookups.Add(1)
+	ec.mLookups.Inc()
 	key := env.Key(cc.vars)
-	v, _ := cc.entries.LoadOrStore(key, &compEntry{})
+	v, loaded := cc.entries.LoadOrStore(key, &compEntry{})
 	e := v.(*compEntry)
-	e.once.Do(func() {
-		ec.computed.Add(1)
-		e.v, e.err = evalComponentValues(cc.c, env)
-	})
+	if !loaded {
+		ec.mEntries.Add(1)
+	}
+	if e.done.Load() {
+		ec.mHits.Inc()
+	} else {
+		mine := false
+		e.once.Do(func() {
+			ec.computed.Add(1)
+			e.v, e.err = evalComponentValues(cc.c, env)
+			e.done.Store(true)
+			mine = true
+		})
+		if mine {
+			ec.mMisses.Inc()
+		} else {
+			// Another goroutine computed this key while we waited on (or
+			// raced with) its sync.Once: a hit, but a coalesced one.
+			ec.mHits.Inc()
+			ec.mCoalesced.Inc()
+		}
+	}
 	if e.err != nil {
 		return ComponentMisses{Component: cc.c, Count: e.v.Count}, e.err
 	}

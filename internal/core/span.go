@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/expr"
 	"repro/internal/loopir"
+	"repro/internal/obs"
 )
 
 // A reuse span is the set of iterations executed between the source and the
@@ -83,6 +84,10 @@ type dimProfile struct {
 type spanCoster struct {
 	nest *loopir.Nest
 	opts Options
+	// spanTimer accumulates time spent in the three span-costing entry
+	// points (nil when Options.Obs is nil — timing then costs one nil test
+	// per call).
+	spanTimer *obs.Timer
 	// subtree caches
 	loopsIn map[loopir.Node]map[string]bool
 	refsIn  map[loopir.Node][]loopir.RefSite
@@ -90,10 +95,11 @@ type spanCoster struct {
 
 func newSpanCoster(nest *loopir.Nest, opts Options) *spanCoster {
 	sc := &spanCoster{
-		nest:    nest,
-		opts:    opts,
-		loopsIn: map[loopir.Node]map[string]bool{},
-		refsIn:  map[loopir.Node][]loopir.RefSite{},
+		nest:      nest,
+		opts:      opts,
+		spanTimer: opts.Obs.Timer("analyze.span"),
+		loopsIn:   map[loopir.Node]map[string]bool{},
+		refsIn:    map[loopir.Node][]loopir.RefSite{},
 	}
 	var walk func(nd loopir.Node) (map[string]bool, []loopir.RefSite)
 	walk = func(nd loopir.Node) (map[string]bool, []loopir.RefSite) {
@@ -415,6 +421,8 @@ func roleRank(r roleKind) int {
 // the union of the boxes of every reference within one complete iteration of
 // L's body, with L as the carrier.
 func (sc *spanCoster) bodySpanCost(L *loopir.Loop) (LinForm, bool, []ArrayCost) {
+	sw := sc.spanTimer.Start()
+	defer sw.Stop()
 	boxes, exact1 := sc.regionBoxes(region{node: L, kind: regionFull}, L)
 	total, exact2, costs := mergeBoxesDetailed(boxes)
 	return total, exact1 && exact2, costs
@@ -434,6 +442,8 @@ func (sc *spanCoster) crossSpanCost(
 	pinnedSrc, pinnedTgt map[string]bool,
 	piSrc, piTgt string,
 ) (LinForm, bool, []ArrayCost) {
+	sw := sc.spanTimer.Start()
+	defer sw.Stop()
 	array := tgt.Ref().Array
 	exact := true
 
@@ -554,6 +564,8 @@ func (sc *spanCoster) wrapSpanCost(
 	pinnedTgt map[string]bool,
 	piTgt string,
 ) (LinForm, bool, []ArrayCost) {
+	sw := sc.spanTimer.Start()
+	defer sw.Stop()
 	array := tgt.Ref().Array
 	exact := true
 

@@ -17,6 +17,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/expr"
 	"repro/internal/kernels"
+	"repro/internal/loopir"
+	"repro/internal/obs"
 	"repro/internal/smp"
 	"repro/internal/tilesearch"
 	"repro/internal/trace"
@@ -118,6 +120,32 @@ func TwoIndexAnalysis() (*core.Analysis, error) {
 		}
 	}
 	return twoIndexAnalysis, nil
+}
+
+// AnalyzedKernel builds a fresh (uncached) full-model analysis of the named
+// symbolic kernel with observability attached. The cmd tools use it when
+// emitting run reports: the cached TwoIndexAnalysis/MatmulAnalysis variants
+// would skip the analyze stage entirely on a warm cache, leaving the
+// "analyze.*" timers empty for the run being reported.
+func AnalyzedKernel(kind string, m *obs.Metrics) (*core.Analysis, error) {
+	var (
+		nest *loopir.Nest
+		err  error
+	)
+	switch kind {
+	case "twoindex":
+		nest, err = kernels.TiledTwoIndex(kernels.SymbolicTwoIndexBounds())
+	case "matmul":
+		nest, err = kernels.TiledMatmul()
+	default:
+		return nil, fmt.Errorf("experiments: unknown symbolic kernel %q", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	opts := core.DefaultOptions()
+	opts.Obs = m
+	return core.AnalyzeWithOptions(nest, opts)
 }
 
 // MatmulAnalysis returns the (cached) analysis of the tiled matmul.
@@ -236,7 +264,21 @@ func RunTable4(bounds []int64) (*Table4Result, error) {
 // number of evaluation workers (see tilesearch.Options.Parallelism). The
 // result is identical at every parallelism level.
 func RunTable4Parallel(bounds []int64, parallelism int) (*Table4Result, error) {
-	a, err := TwoIndexAnalysis()
+	return RunTable4Observed(bounds, parallelism, nil)
+}
+
+// RunTable4Observed is RunTable4Parallel with observability: every search
+// of the sweep records into m (nil disables, making this exactly
+// RunTable4Parallel). The analysis is built fresh when m is non-nil so the
+// analyze.* stage timers describe this run.
+func RunTable4Observed(bounds []int64, parallelism int, m *obs.Metrics) (*Table4Result, error) {
+	var a *core.Analysis
+	var err error
+	if m != nil {
+		a, err = AnalyzedKernel("twoindex", m)
+	} else {
+		a, err = TwoIndexAnalysis()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -254,6 +296,7 @@ func RunTable4Parallel(bounds []int64, parallelism int) (*Table4Result, error) {
 		UnknownBounds: map[string]bool{"NI": true, "NJ": true, "NM": true, "NN": true},
 		DivisorOf:     surrogate,
 		Parallelism:   parallelism,
+		Obs:           m,
 	})
 	if err != nil {
 		return nil, err
@@ -270,6 +313,7 @@ func RunTable4Parallel(bounds []int64, parallelism int) (*Table4Result, error) {
 			BaseEnv:     expr.Env{"NI": n, "NJ": n, "NM": n, "NN": n},
 			DivisorOf:   n,
 			Parallelism: parallelism,
+			Obs:         m,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer serves live observability endpoints for a running tool:
+//
+//	/metrics       JSON snapshot of the registry (counters, gauges, timers)
+//	/debug/vars    expvar (includes cmdline and memstats)
+//	/debug/pprof/  the standard pprof index, profile, trace, symbol pages
+//
+// The cmd tools start one behind -debug-addr for long runs (full-scale
+// simulations, exhaustive sweeps); it uses its own mux so the process's
+// http.DefaultServeMux is left untouched.
+type DebugServer struct {
+	Addr string // actual listen address (resolves ":0" requests)
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// StartDebugServer listens on addr and serves the debug endpoints until
+// Close. Metrics snapshots come from m (which may be nil, yielding empty
+// snapshots).
+func StartDebugServer(addr string, m *Metrics) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		snap := struct {
+			Counters map[string]int64      `json:"counters,omitempty"`
+			Gauges   map[string]int64      `json:"gauges,omitempty"`
+			Timers   map[string]TimerStats `json:"timers,omitempty"`
+		}{m.Counters(), m.Gauges(), m.Timers()}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ds := &DebugServer{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+	}
+	go func() { _ = ds.srv.Serve(ln) }()
+	return ds, nil
+}
+
+// Close shuts the server down.
+func (ds *DebugServer) Close() error {
+	if ds == nil {
+		return nil
+	}
+	return ds.srv.Close()
+}

@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func httpGet(url string) (string, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

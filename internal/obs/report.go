@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// RunReport is the machine-readable artifact of one tool run: which tool
+// ran with which arguments, how long it took, every metric the pipeline
+// recorded, and the stage spans. The cmd tools emit it with -report; tests
+// compare it against golden files after Normalize.
+//
+// Schema stability: fields are only added, never renamed or removed, so
+// downstream consumers can parse reports across versions. Counters, gauges
+// and timer counts are deterministic for deterministic runs (including
+// across -j parallelism levels, except the explicitly per-worker
+// "worker.*" instruments); wall-clock fields are not and are zeroed by
+// Normalize.
+type RunReport struct {
+	Tool      string                `json:"tool"`
+	Args      []string              `json:"args,omitempty"`
+	Start     string                `json:"start,omitempty"` // RFC3339
+	WallNanos int64                 `json:"wallNanos"`
+	Counters  map[string]int64      `json:"counters,omitempty"`
+	Gauges    map[string]int64      `json:"gauges,omitempty"`
+	Timers    map[string]TimerStats `json:"timers,omitempty"`
+	Spans     []SpanRecord          `json:"spans,omitempty"`
+	// Extra carries tool-specific results (e.g. the best tile vector) keyed
+	// by tool-chosen names.
+	Extra map[string]any `json:"extra,omitempty"`
+
+	begun time.Time
+}
+
+// NewRunReport starts a report for the named tool, stamping the start time.
+func NewRunReport(tool string, args []string) *RunReport {
+	now := time.Now()
+	return &RunReport{
+		Tool:  tool,
+		Args:  args,
+		Start: now.Format(time.RFC3339),
+		begun: now,
+	}
+}
+
+// AddMetrics merges a snapshot of the registry into the report. Later calls
+// overwrite same-named entries. Nil registry is a no-op.
+func (r *RunReport) AddMetrics(m *Metrics) {
+	if r == nil || m == nil {
+		return
+	}
+	merge := func(dst *map[string]int64, src map[string]int64) {
+		if len(src) == 0 {
+			return
+		}
+		if *dst == nil {
+			*dst = map[string]int64{}
+		}
+		for k, v := range src {
+			(*dst)[k] = v
+		}
+	}
+	merge(&r.Counters, m.Counters())
+	merge(&r.Gauges, m.Gauges())
+	if ts := m.Timers(); len(ts) > 0 {
+		if r.Timers == nil {
+			r.Timers = map[string]TimerStats{}
+		}
+		for k, v := range ts {
+			r.Timers[k] = v
+		}
+	}
+}
+
+// AddTrace appends the trace's span records. Nil report or trace is a
+// no-op.
+func (r *RunReport) AddTrace(tr *Trace) {
+	if r == nil {
+		return
+	}
+	r.Spans = append(r.Spans, tr.Records()...)
+}
+
+// SetExtra attaches a tool-specific result value.
+func (r *RunReport) SetExtra(key string, v any) {
+	if r.Extra == nil {
+		r.Extra = map[string]any{}
+	}
+	r.Extra[key] = v
+}
+
+// Finish stamps the total wall time. Call once, just before writing.
+func (r *RunReport) Finish() {
+	if !r.begun.IsZero() {
+		r.WallNanos = int64(time.Since(r.begun))
+	}
+}
+
+// Normalize zeroes every wall-clock-dependent field — start time, total
+// wall time, timer nanos (observation counts are kept) and span intervals —
+// so that two runs of the same deterministic workload produce byte-equal
+// reports. Golden-file tests call it before comparison.
+func (r *RunReport) Normalize() {
+	r.Start = ""
+	r.WallNanos = 0
+	for k, t := range r.Timers {
+		t.Nanos = 0
+		r.Timers[k] = t
+	}
+	for i := range r.Spans {
+		r.Spans[i].Start = 0
+		r.Spans[i].Nanos = 0
+	}
+}
+
+// MarshalIndent renders the report as indented JSON with a trailing
+// newline (map keys sorted by encoding/json, so deterministic for
+// deterministic contents).
+func (r *RunReport) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile finishes the report and writes it to path as indented JSON.
+func (r *RunReport) WriteFile(path string) error {
+	r.Finish()
+	b, err := r.MarshalIndent()
+	if err != nil {
+		return fmt.Errorf("obs: marshal report: %w", err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("obs: write report: %w", err)
+	}
+	return nil
+}
+
+// ReadReportFile parses a report previously written by WriteFile.
+func ReadReportFile(path string) (*RunReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r RunReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("obs: parse report %s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func sampleReport() *RunReport {
+	m := New()
+	m.Counter("evalcache.hits").Add(10)
+	m.Gauge("search.frontier.size").Set(4)
+	m.Timer("analyze.total").Observe(3 * time.Millisecond)
+	tr := NewTrace()
+	s := tr.Start("search.coarse")
+	s.SetAttr("candidates", 125)
+	s.End()
+
+	r := NewRunReport("tilesearch", []string{"-kernel", "matmul"})
+	r.AddMetrics(m)
+	r.AddTrace(tr)
+	r.SetExtra("best", map[string]int64{"TI": 8})
+	return r
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := sampleReport()
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if r.WallNanos <= 0 {
+		t.Error("WriteFile must stamp wall time")
+	}
+	back, err := ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Tool != "tilesearch" || back.Counters["evalcache.hits"] != 10 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	if back.Gauges["search.frontier.size"] != 4 {
+		t.Errorf("gauges lost: %v", back.Gauges)
+	}
+	if len(back.Spans) != 1 || back.Spans[0].Attrs["candidates"] != 125 {
+		t.Errorf("spans lost: %v", back.Spans)
+	}
+}
+
+// TestNormalizeDeterminism: two runs of the same workload differ only in
+// wall-clock fields, so normalized reports must be byte-equal.
+func TestNormalizeDeterminism(t *testing.T) {
+	a, b := sampleReport(), sampleReport()
+	a.Finish()
+	time.Sleep(time.Millisecond)
+	b.Finish()
+	a.Normalize()
+	b.Normalize()
+	ab, err := a.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ab) != string(bb) {
+		t.Errorf("normalized reports differ:\n%s\nvs\n%s", ab, bb)
+	}
+}
+
+func TestNormalizeZeroesTimings(t *testing.T) {
+	r := sampleReport()
+	r.Finish()
+	r.Normalize()
+	if r.Start != "" || r.WallNanos != 0 {
+		t.Errorf("start/wall not zeroed: %q %d", r.Start, r.WallNanos)
+	}
+	ts := r.Timers["analyze.total"]
+	if ts.Nanos != 0 {
+		t.Errorf("timer nanos not zeroed: %+v", ts)
+	}
+	if ts.Count != 1 {
+		t.Errorf("timer count must survive normalization: %+v", ts)
+	}
+	for _, s := range r.Spans {
+		if s.Start != 0 || s.Nanos != 0 {
+			t.Errorf("span timings not zeroed: %+v", s)
+		}
+	}
+	if r.Spans[0].Attrs["candidates"] != 125 {
+		t.Error("span attrs must survive normalization")
+	}
+}
+
+func TestReadReportFileErrors(t *testing.T) {
+	if _, err := ReadReportFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(bad, "{nope"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReportFile(bad); err == nil {
+		t.Error("malformed JSON must error")
+	}
+}
+
+// TestReportJSONShape pins the top-level field names — the schema contract
+// documented in README.md.
+func TestReportJSONShape(t *testing.T) {
+	r := sampleReport()
+	r.Finish()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"tool", "args", "start", "wallNanos", "counters", "gauges", "timers", "spans", "extra"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("report JSON missing %q: %v", key, m)
+		}
+	}
+}

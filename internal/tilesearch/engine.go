@@ -2,11 +2,13 @@ package tilesearch
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/expr"
+	"repro/internal/obs"
 )
 
 // The evaluation engine behind Search and Exhaustive. Candidates are
@@ -55,7 +57,7 @@ func newEvaluator(a *core.Analysis, opt Options) *evaluator {
 		workers = 1
 	}
 	return &evaluator{
-		ec:      core.NewEvalCache(a),
+		ec:      core.NewEvalCacheWithMetrics(a, opt.Obs),
 		opt:     opt,
 		ctx:     ctx,
 		workers: workers,
@@ -146,8 +148,19 @@ func (ev *evaluator) evalBatch(assigns []map[string]int64) ([]Candidate, error) 
 	var wg sync.WaitGroup
 	for w := 0; w < ev.workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// Per-worker utilization instruments. These are the one family
+			// of metrics that legitimately varies with Parallelism: the
+			// dynamic take() schedule decides which worker scores which
+			// candidate. Busy time is accumulated per item so that
+			// (worker.N.busy / batch wall time) reads as utilization.
+			var items *obs.Counter
+			var busy *obs.Timer
+			if ev.opt.Obs != nil {
+				items = ev.opt.Obs.Counter(fmt.Sprintf("worker.%d.items", w))
+				busy = ev.opt.Obs.Timer(fmt.Sprintf("worker.%d.busy", w))
+			}
 			for {
 				i := take()
 				if i >= len(assigns) {
@@ -157,9 +170,12 @@ func (ev *evaluator) evalBatch(assigns []map[string]int64) ([]Candidate, error) 
 					errs[i] = err
 					continue
 				}
+				sw := busy.Start()
 				out[i], errs[i] = ev.eval(assigns[i])
+				sw.Stop()
+				items.Inc()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {

@@ -41,11 +41,17 @@ func Exhaustive(a *core.Analysis, opt Options) (*Result, error) {
 			return nil, fmt.Errorf("tilesearch: empty grid for %s", d.Symbol)
 		}
 	}
-	cands, err := ev.evalBatch(enumerate(grid, opt.Dims))
+	assigns := enumerate(grid, opt.Dims)
+	opt.Obs.Counter("search.candidates.exhaustive").Add(int64(len(assigns)))
+	span := opt.Trace.Start("search.exhaustive")
+	span.SetAttr("candidates", int64(len(assigns)))
+	cands, err := ev.evalBatch(assigns)
+	span.End()
 	if err != nil {
 		return nil, err
 	}
 	best := bestOf(cands)
+	opt.Obs.Gauge("search.evaluated").Set(int64(ev.evaluated()))
 	return &Result{
 		Best:      best,
 		Evaluated: ev.evaluated(),

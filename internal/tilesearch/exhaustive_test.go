@@ -4,13 +4,14 @@ import (
 	"testing"
 
 	"repro/internal/expr"
+	"repro/internal/testutil"
 )
 
 // TestSearchMatchesExhaustive: on the tiled matmul the §6 search must find
 // a tile at least as good as the full divisor-grid optimum, with fewer
 // model evaluations.
 func TestSearchMatchesExhaustive(t *testing.T) {
-	a := analyzedMatmul(t)
+	a := testutil.AnalyzedMatmul(t)
 	const n = 64
 	const cache = 512
 	opt := Options{
@@ -39,7 +40,7 @@ func TestSearchMatchesExhaustive(t *testing.T) {
 }
 
 func TestExhaustivePowerOfTwoGrid(t *testing.T) {
-	a := analyzedMatmul(t)
+	a := testutil.AnalyzedMatmul(t)
 	opt := Options{
 		Dims:       matmulDims(32),
 		CacheElems: 256,
@@ -60,7 +61,7 @@ func TestExhaustivePowerOfTwoGrid(t *testing.T) {
 }
 
 func TestExhaustiveValidation(t *testing.T) {
-	a := analyzedMatmul(t)
+	a := testutil.AnalyzedMatmul(t)
 	if _, err := Exhaustive(a, Options{}); err == nil {
 		t.Fatal("empty dims accepted")
 	}

@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/expr"
-	"repro/internal/kernels"
+	"repro/internal/testutil"
 )
 
 // FuzzAnalyzeNoPanic feeds fuzzed loop-bound and tile-size values through
@@ -31,10 +31,7 @@ func FuzzAnalyzeNoPanic(f *testing.F) {
 		ti, tj, tk = clamp(ti, 1, n), clamp(tj, 1, n), clamp(tk, 1, n)
 		cache = clamp(cache, 1, 1<<40)
 
-		nest, err := kernels.TiledMatmul()
-		if err != nil {
-			t.Fatal(err)
-		}
+		nest := testutil.TiledMatmulNest(t)
 		opts := core.Options{
 			CarrierCorrection: optBits&1 != 0,
 			ComplementRule:    optBits&2 != 0,

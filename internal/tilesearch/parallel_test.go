@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/expr"
+	"repro/internal/testutil"
 )
 
 // marshal renders a Result (including map-valued tiles, which encoding/json
@@ -42,9 +43,9 @@ func TestSearchParallelEquivalence(t *testing.T) {
 	}
 	for _, fx := range fixtures {
 		t.Run(fx.name, func(t *testing.T) {
-			var a = analyzedMatmul(t)
+			var a = testutil.AnalyzedMatmul(t)
 			if fx.name == "twoindex" {
-				a = analyzedTwoIndex(t)
+				a = testutil.AnalyzedTwoIndex(t)
 			}
 			opt := fx.opt
 			opt.Parallelism = 1
@@ -71,7 +72,7 @@ func TestSearchParallelEquivalence(t *testing.T) {
 // baseline, whose single large batch is the main beneficiary of the worker
 // pool.
 func TestExhaustiveParallelEquivalence(t *testing.T) {
-	a := analyzedMatmul(t)
+	a := testutil.AnalyzedMatmul(t)
 	opt := Options{
 		Dims:       matmulDims(48),
 		CacheElems: 512,
@@ -101,7 +102,7 @@ func TestExhaustiveParallelEquivalence(t *testing.T) {
 // must surface as an error from every phase and at every parallelism level,
 // never as a silently mis-scored candidate.
 func TestSearchPropagatesMissingBound(t *testing.T) {
-	a := analyzedMatmul(t)
+	a := testutil.AnalyzedMatmul(t)
 	for _, j := range []int{1, 4} {
 		opt := Options{
 			Dims:        matmulDims(64),
@@ -122,7 +123,7 @@ func TestSearchPropagatesMissingBound(t *testing.T) {
 // TestSearchErrorDeterministic: the reported error does not depend on the
 // parallelism level (the batch reports the lowest-index failure).
 func TestSearchErrorDeterministic(t *testing.T) {
-	a := analyzedMatmul(t)
+	a := testutil.AnalyzedMatmul(t)
 	var msgs []string
 	for _, j := range []int{1, 2, 8} {
 		_, err := Search(a, Options{
@@ -146,7 +147,7 @@ func TestSearchErrorDeterministic(t *testing.T) {
 
 // TestSearchCancellation: a pre-cancelled context aborts both entry points.
 func TestSearchCancellation(t *testing.T) {
-	a := analyzedTwoIndex(t)
+	a := testutil.AnalyzedTwoIndex(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	opt := Options{
@@ -168,7 +169,7 @@ func TestSearchCancellation(t *testing.T) {
 // TestSearchGOMAXPROCSParallelism: negative parallelism resolves to the
 // machine width and still matches the sequential result.
 func TestSearchGOMAXPROCSParallelism(t *testing.T) {
-	a := analyzedMatmul(t)
+	a := testutil.AnalyzedMatmul(t)
 	opt := Options{
 		Dims:       matmulDims(64),
 		CacheElems: 512,

@@ -5,10 +5,11 @@ import (
 	"testing"
 
 	"repro/internal/expr"
+	"repro/internal/testutil"
 )
 
 func TestKneeAnalysisMatmul(t *testing.T) {
-	a := analyzedMatmul(t)
+	a := testutil.AnalyzedMatmul(t)
 	base := expr.Env{"N": 64, "TI": 8, "TJ": 8, "TK": 8}
 	const cache = 512
 	knees, err := KneeAnalysis(a, base, matmulDims(64), cache)
@@ -50,7 +51,7 @@ func TestKneeAnalysisMatmul(t *testing.T) {
 // at or below some knee in each dimension — optima never live strictly
 // inside a phase (where growing the tile only helps).
 func TestKneesPredictSearchOptimum(t *testing.T) {
-	a := analyzedMatmul(t)
+	a := testutil.AnalyzedMatmul(t)
 	const n, cache = 64, 512
 	res, err := Search(a, Options{
 		Dims:       matmulDims(n),

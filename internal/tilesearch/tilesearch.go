@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/expr"
+	"repro/internal/obs"
 )
 
 // Dim describes one tunable tile dimension.
@@ -62,6 +63,16 @@ type Options struct {
 	// Context, when non-nil, cancels an in-flight search; Search and
 	// Exhaustive then return the context's error.
 	Context context.Context
+	// Obs, when non-nil, receives the search's instruments: candidate
+	// counts per phase ("search.candidates.*"), the frontier size, pruning
+	// totals, the component-evaluation cache counters ("evalcache.*", see
+	// core.NewEvalCacheWithMetrics) and the per-worker pool utilization
+	// ("worker.*", the only instruments that legitimately vary with
+	// Parallelism). Nil disables instrumentation at no measurable cost.
+	Obs *obs.Metrics
+	// Trace, when non-nil, records one span per search phase (coarse,
+	// frontier, each refinement round) annotated with candidate counts.
+	Trace *obs.Trace
 }
 
 // Candidate is one evaluated tile assignment.
@@ -89,6 +100,7 @@ func Search(a *core.Analysis, opt Options) (*Result, error) {
 		opt.MinTile = 4
 	}
 	ev := newEvaluator(a, opt)
+	m := opt.Obs
 
 	// Phase 1: coarse sweep over power-of-two sizes.
 	grid := make([][]int64, len(opt.Dims))
@@ -103,7 +115,12 @@ func Search(a *core.Analysis, opt Options) (*Result, error) {
 			grid[i] = []int64{opt.MinTile}
 		}
 	}
-	coarse, err := ev.evalBatch(enumerate(grid, opt.Dims))
+	coarseAssigns := enumerate(grid, opt.Dims)
+	m.Counter("search.candidates.coarse").Add(int64(len(coarseAssigns)))
+	span := opt.Trace.Start("search.coarse")
+	span.SetAttr("candidates", int64(len(coarseAssigns)))
+	coarse, err := ev.evalBatch(coarseAssigns)
+	span.End()
 	if err != nil {
 		return nil, err
 	}
@@ -111,17 +128,24 @@ func Search(a *core.Analysis, opt Options) (*Result, error) {
 	// Phase 2: keep the frontier — candidates whose every single-dimension
 	// doubling either leaves the grid or pushes an additional stack
 	// distance past the cache capacity (detected as a miss increase).
+	span = opt.Trace.Start("search.frontier")
 	frontier, err := ev.frontier(coarse)
 	if err != nil {
+		span.End()
 		return nil, err
 	}
+	span.SetAttr("size", int64(len(frontier)))
+	span.End()
+	m.Gauge("search.frontier.size").Set(int64(len(frontier)))
 
 	// Phase 3: refine around frontier points with halved steps. Each
 	// round's neighborhood is enumerated in deterministic order and scored
 	// as one parallel batch.
 	best := bestOf(frontier)
 	pool := frontier
+	round := int64(0)
 	for step := opt.MinTile / 2; step >= 1; step /= 2 {
+		round++
 		var assigns []map[string]int64
 		for _, c := range pool {
 			for _, d := range opt.Dims {
@@ -137,7 +161,13 @@ func Search(a *core.Analysis, opt Options) (*Result, error) {
 				}
 			}
 		}
+		m.Counter("search.candidates.refine").Add(int64(len(assigns)))
+		span = opt.Trace.Start("search.refine")
+		span.SetAttr("round", round)
+		span.SetAttr("step", step)
+		span.SetAttr("candidates", int64(len(assigns)))
 		next, err := ev.evalBatch(assigns)
+		span.End()
 		if err != nil {
 			return nil, err
 		}
@@ -148,9 +178,12 @@ func Search(a *core.Analysis, opt Options) (*Result, error) {
 		}
 		// Phase 4: prune to the most promising candidates before the next
 		// refinement round.
+		before := len(pool)
 		pool = topK(pool, 8)
+		m.Counter("search.pruned").Add(int64(before - len(pool)))
 	}
 
+	m.Gauge("search.evaluated").Set(int64(ev.evaluated()))
 	return &Result{
 		Best:      best,
 		Frontier:  frontier,
@@ -189,6 +222,7 @@ func enumerate(grid [][]int64, dims []Dim) []map[string]int64 {
 // points in the power-of-two coarse grid are themselves coarse points, so
 // this phase runs on cache hits and needs no parallel batch.
 func (ev *evaluator) frontier(coarse []Candidate) ([]Candidate, error) {
+	probes := ev.opt.Obs.Counter("search.candidates.frontier")
 	var out []Candidate
 	for _, c := range coarse {
 		isFrontier := true
@@ -200,6 +234,7 @@ func (ev *evaluator) frontier(coarse []Candidate) ([]Candidate, error) {
 			if ev.opt.DivisorOf != 0 && ev.opt.DivisorOf%v != 0 {
 				continue
 			}
+			probes.Inc()
 			bigger, err := ev.eval(nt2(cloneTiles(c.Tiles), d.Symbol, v))
 			if err != nil {
 				return nil, err

@@ -3,43 +3,19 @@ package tilesearch
 import (
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/expr"
-	"repro/internal/kernels"
+	"repro/internal/testutil"
 )
 
-func analyzedMatmul(t *testing.T) *core.Analysis {
-	t.Helper()
-	nest, err := kernels.TiledMatmul()
-	if err != nil {
-		t.Fatal(err)
-	}
-	a, err := core.Analyze(nest)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return a
-}
-
-func analyzedTwoIndex(t *testing.T) *core.Analysis {
-	t.Helper()
-	nest, err := kernels.TiledTwoIndex(kernels.SymbolicTwoIndexBounds())
-	if err != nil {
-		t.Fatal(err)
-	}
-	a, err := core.Analyze(nest)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return a
-}
-
+// matmulDims stays local (it names the package's Dim type); the nest and
+// analysis fixtures themselves live in internal/testutil, shared with the
+// validation and command tests.
 func matmulDims(n int64) []Dim {
 	return []Dim{{"TI", n}, {"TJ", n}, {"TK", n}}
 }
 
 func TestSearchBeatsExhaustiveGrid(t *testing.T) {
-	a := analyzedMatmul(t)
+	a := testutil.AnalyzedMatmul(t)
 	const n = 64
 	const cache = 512
 	opt := Options{
@@ -80,7 +56,7 @@ func TestSearchBeatsExhaustiveGrid(t *testing.T) {
 }
 
 func TestSearchImprovesOnEquiTiles(t *testing.T) {
-	a := analyzedTwoIndex(t)
+	a := testutil.AnalyzedTwoIndex(t)
 	const n = 256
 	const cache = 8192 // 64 KB of doubles
 	opt := Options{
@@ -110,7 +86,7 @@ func TestSearchImprovesOnEquiTiles(t *testing.T) {
 // bounds, the tile sizes chosen with known bounds coincide with those chosen
 // from bound-free stack distances only.
 func TestUnknownBoundsStability(t *testing.T) {
-	a := analyzedTwoIndex(t)
+	a := testutil.AnalyzedTwoIndex(t)
 	const cache = 8192
 	dims := func(max int64) []Dim {
 		return []Dim{{"TI", max}, {"TJ", max}, {"TM", max}, {"TN", max}}
@@ -157,7 +133,7 @@ func TestUnknownBoundsStability(t *testing.T) {
 }
 
 func TestSearchValidation(t *testing.T) {
-	a := analyzedMatmul(t)
+	a := testutil.AnalyzedMatmul(t)
 	if _, err := Search(a, Options{}); err == nil {
 		t.Fatal("empty dims accepted")
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/loopir"
 	"repro/internal/nestgen"
+	"repro/internal/testutil"
 )
 
 // Differential model-vs-simulator harness: generate random nests across the
@@ -68,10 +69,7 @@ func TestDifferentialModelVsSimulator(t *testing.T) {
 		case 3:
 			cfg = nestgen.Config{Tiled: true}
 		}
-		nest, env, err := nestgen.Generate(r, i, cfg)
-		if err != nil {
-			t.Fatalf("nest #%d: generation failed: %v", i, err)
-		}
+		nest, env := testutil.GenerateNest(t, r, i, cfg)
 		a, err := core.Analyze(nest)
 		if err != nil {
 			t.Fatalf("%s", describe(i, nest, "analysis failed: "+err.Error()))
@@ -129,10 +127,7 @@ func TestDifferentialDeterministic(t *testing.T) {
 		var totals []int64
 		for i := 0; i < 6; i++ {
 			cfg := nestgen.Config{Imperfect: i%2 == 0}
-			nest, env, err := nestgen.Generate(r, i, cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
+			nest, env := testutil.GenerateNest(t, r, i, cfg)
 			a, err := core.Analyze(nest)
 			if err != nil {
 				t.Fatal(err)

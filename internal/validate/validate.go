@@ -12,6 +12,7 @@ import (
 	"repro/internal/cachesim"
 	"repro/internal/core"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -67,6 +68,15 @@ func (c Comparison) RelErr() float64 {
 // each watched capacity, simulates the exact trace once, and returns one
 // Comparison per capacity.
 func Run(a *core.Analysis, env expr.Env, watches []int64) ([]Comparison, error) {
+	return RunObserved(a, env, watches, nil)
+}
+
+// RunObserved is Run with observability: the simulation is timed under the
+// "simulate.total" timer and the simulator's operation counters are flushed
+// into the registry's "cachesim.*" counters. A nil registry disables
+// recording (Run is exactly RunObserved with nil).
+func RunObserved(a *core.Analysis, env expr.Env, watches []int64, m *obs.Metrics) ([]Comparison, error) {
+	sw := m.Timer("simulate.total").Start()
 	p, err := trace.Compile(a.Nest, env)
 	if err != nil {
 		return nil, err
@@ -74,6 +84,8 @@ func Run(a *core.Analysis, env expr.Env, watches []int64) ([]Comparison, error) 
 	sim := cachesim.NewStackSim(p.Size, len(p.Sites), watches)
 	p.Run(sim.Access)
 	res := sim.Results()
+	sim.FlushMetrics(m)
+	sw.Stop()
 
 	var out []Comparison
 	for wi, cap := range watches {
