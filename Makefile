@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet race fuzz-smoke bench cover golden
+.PHONY: all build test check vet race fuzz-smoke bench bench-sim cover golden
 
 all: build
 
@@ -29,6 +29,14 @@ check: vet race fuzz-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# Simulation-pipeline benchmarks (frozen scalar baseline vs batched/sharded)
+# and the committed BENCH_sim.json artifact. The go-test benchmarks and the
+# artifact generator share the internal/simbench workload definitions, so
+# the two outputs measure the same thing.
+bench-sim:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/simbench
+	$(GO) run ./cmd/simbench -o BENCH_sim.json
 
 # Golden-file tests for the cmd tools' text output and RunReport JSON.
 # Regenerate with: go test ./cmd/... -update

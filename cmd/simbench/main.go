@@ -1,0 +1,210 @@
+// Command simbench measures the simulation pipelines and writes the
+// BENCH_sim.json artifact committed at the repository root. It benchmarks
+// exactly the workloads that the go-test benchmarks in internal/simbench
+// measure, through the same helpers, so the artifact and `make bench-sim`
+// output cannot drift apart:
+//
+//   - trace generation alone (per-access interpreter vs batched leaf-stride
+//     walker feeding a no-op consumer),
+//   - end-to-end simulation of the tiled matmul n=64 workload (frozen
+//     Fenwick-tree scalar pipeline vs hierarchical-bitset batched pipeline),
+//   - the validate differential sweep, sequential scalar vs the batched
+//     pipeline on an 8-wide sharded worker pool.
+//
+// Usage:
+//
+//	simbench [-o BENCH_sim.json] [-benchtime 2s]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/simbench"
+)
+
+// Measurement is one benchmarked configuration.
+type Measurement struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	NsPerAccess float64 `json:"ns_per_access,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Section pairs the scalar baseline with the batched pipeline.
+type Section struct {
+	Scalar  Measurement `json:"scalar"`
+	Batched Measurement `json:"batched"`
+	Speedup float64     `json:"speedup"`
+}
+
+// Artifact is the BENCH_sim.json schema.
+type Artifact struct {
+	Generated string `json:"generated"`
+	Host      struct {
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		NumCPU     int    `json:"num_cpu"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		GoVersion  string `json:"go_version"`
+	} `json:"host"`
+	Workload struct {
+		Name     string  `json:"name"`
+		N        int64   `json:"n"`
+		Tiles    []int64 `json:"tiles"`
+		Accesses int64   `json:"accesses"`
+		Watches  []int64 `json:"watches"`
+	} `json:"workload"`
+	// Generate isolates trace emission (no-op consumer); Simulate is the
+	// end-to-end pipeline on the workload above; Sweep is the validate
+	// differential sweep (scalar sequential vs batched on an 8-wide pool —
+	// "sharded" in the sense of one simulation shard per worker).
+	Generate   Section `json:"generate"`
+	Simulate   Section `json:"simulate"`
+	Sweep      Section `json:"sweep"`
+	SweepCases int     `json:"sweep_cases"`
+	SweepJ     int     `json:"sweep_parallelism"`
+}
+
+func measure(f func(b *testing.B), accesses int64) Measurement {
+	r := testing.Benchmark(f)
+	m := Measurement{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+	if accesses > 0 {
+		m.NsPerAccess = float64(r.NsPerOp()) / float64(accesses)
+	}
+	return m
+}
+
+func section(scalar, batched func(b *testing.B), accesses int64) Section {
+	s := Section{
+		Scalar:  measure(scalar, accesses),
+		Batched: measure(batched, accesses),
+	}
+	if s.Batched.NsPerOp > 0 {
+		s.Speedup = float64(s.Scalar.NsPerOp) / float64(s.Batched.NsPerOp)
+	}
+	return s
+}
+
+func mainE() error {
+	out := flag.String("o", "BENCH_sim.json", "output artifact path")
+	benchtime := flag.String("benchtime", "2s", "per-measurement benchmark time (testing -benchtime syntax)")
+	flag.Parse()
+	testing.Init()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		return err
+	}
+
+	var a Artifact
+	a.Generated = time.Now().UTC().Format(time.RFC3339)
+	a.Host.GOOS = runtime.GOOS
+	a.Host.GOARCH = runtime.GOARCH
+	a.Host.NumCPU = runtime.NumCPU()
+	a.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	a.Host.GoVersion = runtime.Version()
+
+	w, err := simbench.Matmul(64, []int64{8, 8, 8})
+	if err != nil {
+		return err
+	}
+	a.Workload.Name = w.Name
+	a.Workload.N = 64
+	a.Workload.Tiles = []int64{8, 8, 8}
+	a.Workload.Accesses = w.Accesses
+	a.Workload.Watches = w.Watches
+
+	fmt.Fprintln(os.Stderr, "measuring trace generation ...")
+	a.Generate = section(
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w.Prog.RunScalar(func(int, int64) {})
+			}
+		},
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w.Prog.RunBlocks(0, func([]int32, []int64) {})
+			}
+		},
+		w.Accesses)
+
+	fmt.Fprintln(os.Stderr, "measuring end-to-end simulation ...")
+	a.Simulate = section(
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w.RunScalar()
+			}
+		},
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w.RunBatched(0)
+			}
+		},
+		w.Accesses)
+
+	fmt.Fprintln(os.Stderr, "measuring differential sweep ...")
+	cases, err := simbench.SweepCases()
+	if err != nil {
+		return err
+	}
+	a.SweepCases = len(cases)
+	a.SweepJ = 8
+	var sweepErr error
+	run := func(parallelism int, scalar bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := simbench.RunSweep(cases, parallelism, scalar); err != nil {
+					sweepErr = err
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	// Total accesses across the sweep, for the per-access rate.
+	all, err := simbench.RunSweep(cases, 1, false)
+	if err != nil {
+		return err
+	}
+	var sweepAccesses int64
+	for _, cmps := range all {
+		sweepAccesses += cmps[0].Accesses
+	}
+	a.Sweep = section(run(1, true), run(a.SweepJ, false), sweepAccesses)
+	if sweepErr != nil {
+		return sweepErr
+	}
+
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("  generate: %.2f -> %.2f ns/access (%.2fx)\n",
+		a.Generate.Scalar.NsPerAccess, a.Generate.Batched.NsPerAccess, a.Generate.Speedup)
+	fmt.Printf("  simulate: %.2f -> %.2f ns/access (%.2fx)\n",
+		a.Simulate.Scalar.NsPerAccess, a.Simulate.Batched.NsPerAccess, a.Simulate.Speedup)
+	fmt.Printf("  sweep:    %.1f -> %.1f ms (%.2fx at -j%d, %d cases)\n",
+		float64(a.Sweep.Scalar.NsPerOp)/1e6, float64(a.Sweep.Batched.NsPerOp)/1e6, a.Sweep.Speedup, a.SweepJ, a.SweepCases)
+	return nil
+}
+
+func main() {
+	if err := mainE(); err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+}

@@ -15,6 +15,7 @@
 //	smpbench -n 1024        # Figure 10
 //	smpbench -n 2048        # Figure 11
 //	smpbench -n 512 -run    # include real goroutine execution
+//	smpbench -sim -sim-n 256 -j 8   # exact sharded per-processor simulation
 package main
 
 import (
@@ -46,15 +47,18 @@ func main() {
 		speedup   = flag.Bool("speedup", false, "print the speedup/efficiency table for the predicted tile")
 		report    = flag.String("report", "", "write a RunReport JSON artifact to this path")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		sim       = flag.Bool("sim", false, "also run the exact sharded per-processor simulation figure")
+		simN      = flag.Int64("sim-n", 256, "loop range for the -sim figure (full N is too slow to simulate)")
+		par       = flag.Int("j", -1, "worker pool width for -sim shards (-1 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := mainE(os.Stdout, os.Args[1:], *n, *run, *speedup, *report, *debugAddr); err != nil {
+	if err := mainE(os.Stdout, os.Args[1:], *n, *run, *speedup, *report, *debugAddr, *sim, *simN, *par); err != nil {
 		fmt.Fprintln(os.Stderr, "smpbench:", err)
 		os.Exit(1)
 	}
 }
 
-func mainE(w io.Writer, args []string, n int64, run, speedup bool, reportPath, debugAddr string) error {
+func mainE(w io.Writer, args []string, n int64, run, speedup bool, reportPath, debugAddr string, sim bool, simN int64, par int) error {
 	var m *obs.Metrics
 	var rep *obs.RunReport
 	if reportPath != "" || debugAddr != "" {
@@ -128,6 +132,22 @@ func mainE(w io.Writer, args []string, n int64, run, speedup bool, reportPath, d
 		fmt.Fprintln(w)
 		fmt.Fprint(w, smp.FormatPredictions(
 			"speedup/efficiency (infinite-bandwidth limit, predicted tile):", preds, model))
+	}
+
+	if sim {
+		simSW := m.Timer("smpbench.sim_figure").Start()
+		spts, err := experiments.RunFigureSimulatedParallel(simN, []int64{1, 2, 4, 8}, par, m)
+		simSW.Stop()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		fmt.Fprint(w, experiments.FormatFigure(
+			fmt.Sprintf("exact sharded simulation: loop range %d, 64 KB private caches, pool width %d", simN, par), spts))
+		if rep != nil {
+			rep.SetExtra("sim_n", simN)
+			rep.SetExtra("sim_points", len(spts))
+		}
 	}
 
 	if !run {

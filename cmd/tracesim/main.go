@@ -39,20 +39,24 @@ func main() {
 		l2KB    = flag.Int64("l2-kb", 0, "two-level mode: L2 size in KB")
 		dump    = flag.String("dump", "", "write the trace to this file and exit")
 		replay  = flag.String("replay", "", "replay a stored trace instead of generating one")
+		block   = flag.Int("block", 0, "trace block size in accesses (0 = default)")
 	)
 	flag.Parse()
-	if err := run(*kernel, *n, *tiles, *cacheKB, *assoc, *line, *l1KB, *l2KB, *dump, *replay); err != nil {
+	if err := run(*kernel, *n, *tiles, *cacheKB, *assoc, *line, *l1KB, *l2KB, *dump, *replay, *block); err != nil {
 		fmt.Fprintln(os.Stderr, "tracesim:", err)
 		os.Exit(1)
 	}
 }
 
-// traceSource abstracts generated vs replayed traces.
+// traceSource abstracts generated vs replayed traces. run streams
+// per-access (for the dump path); runBlocks streams through the batched
+// block pipeline (for simulation).
 type traceSource struct {
 	nSites    int
 	addrSpace int64
 	siteNames []string
 	run       func(trace.Emit) error
+	runBlocks func(blockSize int, emit trace.EmitBlock) error
 }
 
 func openSource(kernel string, n int64, tiles, replay string) (*traceSource, error) {
@@ -71,18 +75,27 @@ func openSource(kernel string, n int64, tiles, replay string) (*traceSource, err
 		for i := range names {
 			names[i] = fmt.Sprintf("site#%d", i)
 		}
+		runScalar := func(emit trace.Emit) error {
+			f, err := os.Open(replay)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			_, _, err = trace.ReadTrace(f, emit)
+			return err
+		}
 		return &traceSource{
 			nSites:    h.NSites,
 			addrSpace: h.AddrSpace,
 			siteNames: names,
-			run: func(emit trace.Emit) error {
-				f, err := os.Open(replay)
-				if err != nil {
+			run:       runScalar,
+			runBlocks: func(blockSize int, emit trace.EmitBlock) error {
+				bb := trace.NewBlockBuffer(blockSize, emit)
+				if err := runScalar(bb.Emit); err != nil {
 					return err
 				}
-				defer f.Close()
-				_, _, err = trace.ReadTrace(f, emit)
-				return err
+				bb.Flush()
+				return nil
 			},
 		}, nil
 	}
@@ -108,10 +121,14 @@ func openSource(kernel string, n int64, tiles, replay string) (*traceSource, err
 		addrSpace: p.Size,
 		siteNames: names,
 		run:       func(emit trace.Emit) error { p.Run(emit); return nil },
+		runBlocks: func(blockSize int, emit trace.EmitBlock) error {
+			p.RunBlocks(blockSize, emit)
+			return nil
+		},
 	}, nil
 }
 
-func run(kernel string, n int64, tiles, cacheKB string, assoc int, line, l1KB, l2KB int64, dump, replay string) error {
+func run(kernel string, n int64, tiles, cacheKB string, assoc int, line, l1KB, l2KB int64, dump, replay string, block int) error {
 	src, err := openSource(kernel, n, tiles, replay)
 	if err != nil {
 		return err
@@ -143,7 +160,7 @@ func run(kernel string, n int64, tiles, cacheKB string, assoc int, line, l1KB, l
 		if err != nil {
 			return err
 		}
-		if err := src.run(func(_ int, addr int64) { h.Access(addr) }); err != nil {
+		if err := src.runBlocks(block, func(_ []int32, addrs []int64) { h.AccessBlock(addrs) }); err != nil {
 			return err
 		}
 		fmt.Printf("two-level hierarchy L1=%dKB L2=%dKB over %d accesses:\n", l1KB, l2KB, h.Accesses())
@@ -171,10 +188,10 @@ func run(kernel string, n int64, tiles, cacheKB string, assoc int, line, l1KB, l
 			return err
 		}
 	}
-	if err := src.run(func(site int, addr int64) {
-		sim.Access(site, addr)
+	if err := src.runBlocks(block, func(sites []int32, addrs []int64) {
+		sim.AccessBlock(sites, addrs)
 		if extra != nil {
-			extra.Access(addr)
+			extra.AccessBlock(addrs)
 		}
 	}); err != nil {
 		return err

@@ -76,6 +76,41 @@ func (c *AssocCache) Access(addr int64) bool {
 	return false
 }
 
+// AccessBlock simulates a batch of element accesses, hoisting the geometry
+// fields and the counter updates out of the per-access path. Results are
+// identical to calling Access per element.
+func (c *AssocCache) AccessBlock(addrs []int64) {
+	lineElems, numSets, ways := c.lineElems, c.numSets, c.ways
+	sets := c.sets
+	var misses int64
+	for _, addr := range addrs {
+		line := addr / lineElems
+		set := line % numSets
+		s := sets[set]
+		hit := false
+		for i, tag := range s {
+			if tag == line {
+				copy(s[1:i+1], s[0:i])
+				s[0] = line
+				hit = true
+				break
+			}
+		}
+		if hit {
+			continue
+		}
+		misses++
+		if len(s) < ways {
+			s = append(s, 0)
+		}
+		copy(s[1:], s[0:len(s)-1])
+		s[0] = line
+		sets[set] = s
+	}
+	c.accesses += int64(len(addrs))
+	c.misses += misses
+}
+
 // Accesses returns the number of accesses simulated so far.
 func (c *AssocCache) Accesses() int64 { return c.accesses }
 

@@ -14,6 +14,7 @@ import "fmt"
 type Hierarchy struct {
 	capL1, capL2 int64
 	sim          *StackSim
+	zeroSites    []int32 // reusable all-zero site buffer for AccessBlock
 
 	L1Hits      int64
 	L2Hits      int64
@@ -42,6 +43,16 @@ func NewHierarchy(addrSpace, capL1, capL2 int64) (*Hierarchy, error) {
 
 // Access classifies one reference.
 func (h *Hierarchy) Access(addr int64) { h.sim.Access(0, addr) }
+
+// AccessBlock classifies a batch of references through the underlying
+// batched stack simulator. All accesses share site 0; the zero-site buffer
+// is grown on demand and reused between blocks.
+func (h *Hierarchy) AccessBlock(addrs []int64) {
+	if cap(h.zeroSites) < len(addrs) {
+		h.zeroSites = make([]int32, len(addrs))
+	}
+	h.sim.AccessBlock(h.zeroSites[:len(addrs)], addrs)
+}
 
 // Accesses returns the total reference count.
 func (h *Hierarchy) Accesses() int64 { return h.L1Hits + h.L2Hits + h.MemAccesses }

@@ -1,0 +1,59 @@
+package cachesim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestStackSimMatchesReference drives identical random traces through
+// ReferenceSim (Fenwick tree, per-access) and StackSim (hierarchical
+// bitset, both per-access and batched) and requires identical Results and
+// identical flushed counters. The two engines share no counting code, so
+// agreement here is the strongest correctness evidence in the package.
+func TestStackSimMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	watches := []int64{128, 2, 16, 1024}
+	for trial := 0; trial < 8; trial++ {
+		space := int64(16 + rng.Intn(600))
+		n := 3000 + rng.Intn(3000)
+		nSites := 1 + rng.Intn(4)
+		sites := make([]int32, n)
+		addrs := make([]int64, n)
+		for i := range addrs {
+			sites[i] = int32(rng.Intn(nSites))
+			addrs[i] = rng.Int63n(space)
+		}
+
+		ref := NewReferenceSim(space, nSites, watches)
+		scalar := NewStackSim(space, nSites, watches)
+		batched := NewStackSim(space, nSites, watches)
+		for i := range addrs {
+			ref.Access(int(sites[i]), addrs[i])
+			scalar.Access(int(sites[i]), addrs[i])
+		}
+		for lo := 0; lo < n; {
+			hi := lo + 1 + rng.Intn(300)
+			if hi > n {
+				hi = n
+			}
+			batched.AccessBlock(sites[lo:hi], addrs[lo:hi])
+			lo = hi
+		}
+
+		want := ref.Results()
+		for name, sim := range map[string]*StackSim{"scalar": scalar, "batched": batched} {
+			got := sim.Results()
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("trial %d: %s StackSim diverges from reference\nref %+v\ngot %+v", trial, name, got, want)
+			}
+			if sim.ops != ref.ops || sim.compactions != ref.compactions {
+				t.Fatalf("trial %d: %s counters diverge: ops %d vs %d, compactions %d vs %d",
+					trial, name, sim.ops, ref.ops, sim.compactions, ref.compactions)
+			}
+		}
+		if ref.compactions == 0 && trial == 0 {
+			t.Log("warning: first trial saw no compaction")
+		}
+	}
+}

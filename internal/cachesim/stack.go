@@ -70,23 +70,42 @@ func (r Results) MissesAtLeast(c int64) int64 {
 // StackSim is the exact fully-associative LRU stack simulator.
 //
 // It tracks, for every address in a dense address space, the "slot" of its
-// most recent access on a virtual timeline. A Fenwick (binary indexed) tree
-// over slots supports counting how many addresses were touched more recently
-// than a given slot in O(log cap). The timeline is periodically compacted so
-// that memory stays proportional to the address-space size regardless of
-// trace length.
+// most recent access on a virtual timeline, and counts how many addresses
+// were touched more recently than a given slot with a two-level structure: a
+// bitset of live slots (popcount answers the within-block part of a prefix
+// count) under a small Fenwick tree over 256-slot blocks. For the address
+// spaces of tiled kernels the bitset is a few KB — L1-resident — and a
+// prefix count costs a handful of popcounts plus a walk over a ~100-entry
+// tree, where the classic Fenwick-tree-over-slots it replaces walked
+// O(log cap) cache lines of a tree hundreds of KB wide. ReferenceSim keeps
+// that original implementation as the differential ground truth. The
+// timeline is periodically compacted so that memory stays proportional to
+// the address-space size regardless of trace length.
 type StackSim struct {
 	watches []int64
-	slotOf  []int64 // per address: current slot, 0 = never accessed
-	addrAt  []int64 // per slot: address occupying it, -1 = free
-	fen     []int64 // Fenwick tree over slots 1..cap
-	clock   int64   // next slot to assign
+	// Watched capacities in ascending order with the permutation back to the
+	// caller's order. An access with stack distance sd misses exactly the
+	// watches below sd — a prefix of sortedW — so per access the simulator
+	// records only the prefix length k (one binary search, one increment)
+	// and Results materializes per-watch miss counts by suffix-summing.
+	sortedW []int64
+	sortIdx []int
+	missK   []int64   // missK[k]: accesses missing exactly the first k sorted watches
+	siteK   [][]int64 // per site: same prefix-length counts
+	slotOf  []int64   // per address: current slot, 0 = never accessed
+	addrAt  []int64   // per slot: address occupying it, -1 = free
+	live    []uint64  // bitset over slots: 1 = slot holds a live address
+	blkFen  []int64   // Fenwick tree of live counts over 256-slot blocks
+	nBlk    int64     // number of blocks (Fenwick index of block B is B+1)
+	clock   int64     // next slot to assign
 	cap     int64
 	active  int64 // number of distinct addresses seen
 	res     Results
 	// Plain (non-atomic) operation counters: the simulator is single-
 	// threaded and the hot path must not pay for synchronization. ops
-	// counts Fenwick-tree operations (one per fenAdd/fenPrefix call);
+	// counts logical stack operations (one per timeline prefix query or
+	// live-slot update — a unit independent of the counting structure, so
+	// totals are comparable across engines and stable in golden files);
 	// compactions counts timeline rebuilds. FlushMetrics publishes them.
 	ops         int64
 	compactions int64
@@ -109,40 +128,102 @@ func NewStackSim(addrSpace int64, nSites int, watches []int64) *StackSim {
 		watches: w,
 		slotOf:  make([]int64, addrSpace),
 		addrAt:  make([]int64, capSlots+1),
-		fen:     make([]int64, capSlots+1),
+		live:    make([]uint64, capSlots>>6+2),
+		nBlk:    capSlots>>blkShift + 1,
 		clock:   1,
 		cap:     capSlots,
 	}
+	s.blkFen = make([]int64, s.nBlk+1)
 	for i := range s.addrAt {
 		s.addrAt[i] = -1
 	}
-	s.res.Watches = w
-	s.res.Misses = make([]int64, len(w))
-	s.res.PerSite = make([]SiteStats, nSites)
-	for i := range s.res.PerSite {
-		s.res.PerSite[i].Misses = make([]int64, len(w))
+	s.sortIdx = make([]int, len(w))
+	for i := range s.sortIdx {
+		s.sortIdx[i] = i
 	}
+	sort.SliceStable(s.sortIdx, func(i, j int) bool { return w[s.sortIdx[i]] < w[s.sortIdx[j]] })
+	s.sortedW = make([]int64, len(w))
+	for k, idx := range s.sortIdx {
+		s.sortedW[k] = w[idx]
+	}
+	s.missK = make([]int64, len(w)+1)
+	s.siteK = make([][]int64, nSites)
+	for i := range s.siteK {
+		s.siteK[i] = make([]int64, len(w)+1)
+	}
+	s.res.Watches = w
+	s.res.PerSite = make([]SiteStats, nSites)
 	return s
 }
 
-func (s *StackSim) fenAdd(i, delta int64) {
-	s.ops++
-	for ; i <= s.cap; i += i & (-i) {
-		s.fen[i] += delta
+// watchPrefix returns the number of sorted watches strictly below sd — the
+// length of the missed-watch prefix for a finite stack distance. The usual
+// watch list is a handful of capacities, where a predictable linear scan
+// beats binary search's data-dependent branches; longer lists fall back to
+// binary search so the per-access cost stays O(log #watches).
+func watchPrefix(sorted []int64, sd int64) int {
+	if len(sorted) <= 8 {
+		k := 0
+		for k < len(sorted) && sorted[k] < sd {
+			k++
+		}
+		return k
+	}
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if sorted[mid] < sd {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// blkShift sets the block granularity of the live-slot structure: 2^8 slots
+// (four bitset words) per Fenwick-tree block. Smaller blocks shift cost from
+// popcounts to tree walks and vice versa; 256 keeps the within-block scan at
+// most four popcounts while the block tree for typical tiled-kernel address
+// spaces stays around a hundred entries.
+const blkShift = 8
+
+// livePrefix counts live slots at positions <= slot: a block-tree prefix
+// walk, then popcounts over the partial block.
+func (s *StackSim) livePrefix(slot int64) int64 {
+	b := slot >> blkShift
+	var sum int64
+	for j := b; j > 0; j -= j & (-j) {
+		sum += s.blkFen[j]
+	}
+	w := slot >> 6
+	for j := b << (blkShift - 6); j < w; j++ {
+		sum += int64(bits.OnesCount64(s.live[j]))
+	}
+	// Shifting left by 63-r discards bits above r, so the popcount covers
+	// exactly bit positions 0..slot%64 of the final word.
+	return sum + int64(bits.OnesCount64(s.live[w]<<(63-uint(slot&63))))
+}
+
+func (s *StackSim) markLive(slot int64) {
+	s.live[slot>>6] |= 1 << uint(slot&63)
+	for j := slot>>blkShift + 1; j <= s.nBlk; j += j & (-j) {
+		s.blkFen[j]++
 	}
 }
 
-func (s *StackSim) fenPrefix(i int64) int64 {
-	s.ops++
-	var sum int64
-	for ; i > 0; i -= i & (-i) {
-		sum += s.fen[i]
+func (s *StackSim) clearLive(slot int64) {
+	s.live[slot>>6] &^= 1 << uint(slot&63)
+	for j := slot>>blkShift + 1; j <= s.nBlk; j += j & (-j) {
+		s.blkFen[j]--
 	}
-	return sum
 }
 
 // Access processes one reference. site indexes the per-site stats; pass 0
-// if per-site stats are not needed.
+// if per-site stats are not needed. Streaming consumers should prefer
+// AccessBlock, which amortizes the per-call overhead over whole blocks;
+// both paths maintain the same state and produce identical Results (pinned
+// by TestAccessBlockMatchesScalar).
 func (s *StackSim) Access(site int, addr int64) {
 	s.res.Accesses++
 	st := &s.res.PerSite[site]
@@ -150,26 +231,25 @@ func (s *StackSim) Access(site int, addr int64) {
 
 	old := s.slotOf[addr]
 	var sd int64
+	k := len(s.sortedW)
 	if old == 0 {
 		sd = InfSD
 		s.active++
 		s.res.Distinct++
 		st.FirstTouch++
+		s.ops++
 	} else {
 		// Distinct addresses accessed strictly after old, plus the address
 		// itself.
-		sd = s.active - s.fenPrefix(old) + 1
-		s.fenAdd(old, -1)
+		sd = s.active - s.livePrefix(old) + 1
+		s.clearLive(old)
 		s.addrAt[old] = -1
-		b := bits.Len64(uint64(sd))
-		s.res.Hist[b]++
+		s.res.Hist[bits.Len64(uint64(sd))]++
+		k = watchPrefix(s.sortedW, sd)
+		s.ops += 3 // prefix query, removal, insertion
 	}
-	for i, c := range s.watches {
-		if sd == InfSD || sd > c {
-			s.res.Misses[i]++
-			st.Misses[i]++
-		}
-	}
+	s.missK[k]++
+	s.siteK[site][k]++
 	if s.OnSD != nil {
 		s.OnSD(site, sd)
 	}
@@ -179,55 +259,220 @@ func (s *StackSim) Access(site int, addr int64) {
 	}
 	s.slotOf[addr] = s.clock
 	s.addrAt[s.clock] = addr
-	s.fenAdd(s.clock, 1)
+	s.markLive(s.clock)
 	s.clock++
 }
 
+// AccessBlock processes one batch of references (the trace.EmitBlock
+// shape). It is the hot path of the batched simulation pipeline: slice
+// headers and the per-site stats base are hoisted out of the loop, the
+// live-slot structure is inlined (the helper walks are too large for the
+// compiler to inline as calls), the operation/access counters are committed
+// once per block, and the per-access watch scan is replaced by the
+// missed-prefix length.
+//
+// Beyond hoisting, the removal and insertion exploit block locality: when
+// the vacated slot and the new slot fall in the same 256-slot block — the
+// common case for the short reuse distances of tiled kernels — the two
+// block-tree updates cancel and the whole update is two bitset writes. Every
+// counter (including ops, which counts logical operations: one query plus
+// two updates per hit) and all Results are identical to issuing every
+// access through Access, and to ReferenceSim.
+func (s *StackSim) AccessBlock(sites []int32, addrs []int64) {
+	if len(addrs) == 0 {
+		return
+	}
+	live := s.live
+	blkFen := s.blkFen
+	nBlk := s.nBlk
+	slotOf := s.slotOf
+	addrAt := s.addrAt
+	sortedW := s.sortedW
+	missK := s.missK
+	siteK := s.siteK
+	perSite := s.res.PerSite
+	hist := &s.res.Hist
+	onSD := s.OnSD
+	clock, active := s.clock, s.active
+	nw := len(sortedW)
+	var ops, distinct int64
+	for i, addr := range addrs {
+		site := sites[i]
+		st := &perSite[site]
+		st.Accesses++
+		old := slotOf[addr]
+		var sd int64
+		k := nw
+		if old == 0 {
+			sd = InfSD
+			active++
+			distinct++
+			st.FirstTouch++
+			ops++ // the insertion
+			if clock > s.cap {
+				s.clock, s.active = clock, active
+				s.compact()
+				clock = s.clock
+			}
+			slotOf[addr] = clock
+			addrAt[clock] = addr
+			live[clock>>6] |= 1 << uint(clock&63)
+			for j := clock>>blkShift + 1; j <= nBlk; j += j & (-j) {
+				blkFen[j]++
+			}
+			clock++
+		} else {
+			b := old >> blkShift
+			var sum int64
+			for j := b; j > 0; j -= j & (-j) {
+				sum += blkFen[j]
+			}
+			w := old >> 6
+			for j := b << (blkShift - 6); j < w; j++ {
+				sum += int64(bits.OnesCount64(live[j]))
+			}
+			sum += int64(bits.OnesCount64(live[w] << (63 - uint(old&63))))
+			sd = active - sum + 1
+			(*hist)[bits.Len64(uint64(sd))]++
+			k = watchPrefix(sortedW, sd)
+			ops += 3 // prefix query, removal, insertion
+			addrAt[old] = -1
+			live[w] &^= 1 << uint(old&63)
+			if clock > s.cap {
+				// Finish the removal, then compact, then insert — the
+				// scalar order, so the trigger index and resulting state
+				// match Access exactly.
+				for j := b + 1; j <= nBlk; j += j & (-j) {
+					blkFen[j]--
+				}
+				s.clock, s.active = clock, active
+				s.compact()
+				clock = s.clock
+				slotOf[addr] = clock
+				addrAt[clock] = addr
+				live[clock>>6] |= 1 << uint(clock&63)
+				for j := clock>>blkShift + 1; j <= nBlk; j += j & (-j) {
+					blkFen[j]++
+				}
+				clock++
+			} else {
+				live[clock>>6] |= 1 << uint(clock&63)
+				if nb := clock >> blkShift; nb != b {
+					for j := b + 1; j <= nBlk; j += j & (-j) {
+						blkFen[j]--
+					}
+					for j := nb + 1; j <= nBlk; j += j & (-j) {
+						blkFen[j]++
+					}
+				}
+				slotOf[addr] = clock
+				addrAt[clock] = addr
+				clock++
+			}
+		}
+		missK[k]++
+		siteK[site][k]++
+		if onSD != nil {
+			onSD(int(site), sd)
+		}
+	}
+	s.clock, s.active = clock, active
+	s.ops += ops
+	s.res.Accesses += int64(len(addrs))
+	s.res.Distinct += distinct
+}
+
 // compact renumbers active slots to 1..active, preserving order, and
-// rebuilds the Fenwick tree. Runs O(cap) but only once per ~addrSpace
-// accesses, so the amortized cost per access is O(1).
+// rebuilds the live-slot structure. Runs O(cap) but only once per
+// ~addrSpace accesses, so the amortized cost per access is O(1).
 func (s *StackSim) compact() {
 	s.compactions++
 	next := int64(1)
 	for slot := int64(1); slot <= s.cap; slot++ {
 		addr := s.addrAt[slot]
 		s.addrAt[slot] = -1
-		s.fen[slot] = 0
 		if addr >= 0 && s.slotOf[addr] == slot {
 			s.slotOf[addr] = next
-			// addrAt for the new position is filled in the second pass
-			// below; next <= slot always holds so no overwrite hazard.
+			// addrAt for the new position is rewritten in place;
+			// next <= slot always holds so no overwrite hazard.
 			s.addrAt[next] = addr
 			next++
 		}
 	}
 	s.clock = next
-	for slot := int64(1); slot < next; slot++ {
-		s.fenAdd(slot, 1)
+	// After renumbering, exactly slots 1..occupied are live: fill the
+	// bitset prefix and derive the per-block counts arithmetically, then
+	// build the block tree bottom-up in O(nBlk). ops still counts the
+	// logical per-slot insertions so stack_ops totals do not depend on the
+	// rebuild strategy.
+	occupied := next - 1
+	for i := range s.live {
+		s.live[i] = 0
 	}
+	lastW := occupied >> 6
+	for w := int64(0); w < lastW; w++ {
+		s.live[w] = ^uint64(0)
+	}
+	s.live[lastW] = ^uint64(0) >> (63 - uint(occupied&63))
+	s.live[0] &^= 1 // slot 0 is never assigned
+	for b := int64(0); b < s.nBlk; b++ {
+		lo := b << blkShift
+		if lo == 0 {
+			lo = 1
+		}
+		hi := (b+1)<<blkShift - 1
+		if hi > occupied {
+			hi = occupied
+		}
+		if hi >= lo {
+			s.blkFen[b+1] = hi - lo + 1
+		} else {
+			s.blkFen[b+1] = 0
+		}
+	}
+	for i := int64(1); i <= s.nBlk; i++ {
+		if j := i + i&(-i); j <= s.nBlk {
+			s.blkFen[j] += s.blkFen[i]
+		}
+	}
+	s.ops += occupied
 }
 
 // Results returns the accumulated results. The simulator may continue to be
-// used afterwards; the returned struct is a snapshot.
+// used afterwards; the returned struct is a snapshot. Per-watch miss counts
+// are materialized here from the missed-prefix-length counters the access
+// paths maintain.
 func (s *StackSim) Results() Results {
 	out := s.res
 	out.Watches = append([]int64(nil), s.res.Watches...)
-	out.Misses = append([]int64(nil), s.res.Misses...)
+	out.Misses = s.materialize(s.missK)
 	out.PerSite = make([]SiteStats, len(s.res.PerSite))
 	for i, ps := range s.res.PerSite {
 		out.PerSite[i] = SiteStats{
 			Accesses:   ps.Accesses,
 			FirstTouch: ps.FirstTouch,
-			Misses:     append([]int64(nil), ps.Misses...),
+			Misses:     s.materialize(s.siteK[i]),
 		}
+	}
+	return out
+}
+
+// materialize converts missed-prefix-length counts into per-watch miss
+// counts in the caller's original watch order: the misses at the j-th
+// sorted watch are the accesses whose missed prefix extends beyond j.
+func (s *StackSim) materialize(k []int64) []int64 {
+	out := make([]int64, len(s.watches))
+	var suffix int64
+	for j := len(s.sortedW) - 1; j >= 0; j-- {
+		suffix += k[j+1]
+		out[s.sortIdx[j]] = suffix
 	}
 	return out
 }
 
 // FlushMetrics publishes the simulator's operation totals accumulated since
 // the previous flush into the registry's "cachesim.*" counters: accesses,
-// distinct addresses, Fenwick-tree stack operations and timeline
-// compactions. Counters (not gauges) so that several simulator instances in
+// distinct addresses, logical stack operations and timeline compactions. Counters (not gauges) so that several simulator instances in
 // one run — e.g. a multi-capacity validation sweep — aggregate naturally.
 // Nil registry is a no-op. The simulator itself never touches the registry
 // on its access path, keeping the hot loop synchronization-free.
@@ -270,11 +515,27 @@ func (r Results) SDHistogramString() string {
 	return out
 }
 
-// CapacitiesCrossed returns, from the histogram, the smallest watched
-// capacity whose miss count differs from the largest watched capacity's, a
-// convenience for sanity checks in reports.
+// CapacitiesCrossed returns the watched capacities, in ascending order,
+// whose miss counts differ from the largest watched capacity's — the
+// capacities at which growing the cache still changes the outcome. An empty
+// result means every watched capacity behaves like the largest (the miss
+// curve is flat across the watch set), a convenience for sanity checks in
+// reports.
 func (r Results) CapacitiesCrossed() []int64 {
-	sorted := append([]int64(nil), r.Watches...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	return sorted
+	if len(r.Watches) == 0 {
+		return nil
+	}
+	order := make([]int, len(r.Watches))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return r.Watches[order[i]] < r.Watches[order[j]] })
+	largest := r.Misses[order[len(order)-1]]
+	var out []int64
+	for _, idx := range order {
+		if r.Misses[idx] != largest {
+			out = append(out, r.Watches[idx])
+		}
+	}
+	return out
 }

@@ -43,10 +43,10 @@ func RunAssocSensitivity(kind string, n int64, tiles []int64, cacheKB int64, way
 		}
 		assoc = append(assoc, c)
 	}
-	p.Run(func(site int, addr int64) {
-		full.Access(site, addr)
+	p.RunBlocks(trace.DefaultBlockSize, func(sites []int32, addrs []int64) {
+		full.AccessBlock(sites, addrs)
 		for _, c := range assoc {
-			c.Access(addr)
+			c.AccessBlock(addrs)
 		}
 	})
 	res := full.Results()

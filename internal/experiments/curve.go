@@ -29,7 +29,7 @@ func RunMissCurve(a *core.Analysis, env expr.Env, points int) ([]CurvePoint, err
 	}
 	sim := cachesim.NewStackSim(p.Size, len(p.Sites), nil)
 	sf := sim.CollectExact()
-	p.Run(sim.Access)
+	p.RunBlocks(trace.DefaultBlockSize, sim.AccessBlock)
 
 	footprint, err := a.Nest.Footprint().Eval(env)
 	if err != nil {

@@ -230,7 +230,7 @@ func missRow(a *core.Analysis, env expr.Env, cacheElems int64, simulate bool) (M
 			return row, err
 		}
 		sim := cachesim.NewStackSim(p.Size, len(p.Sites), []int64{cacheElems})
-		p.Run(sim.Access)
+		p.RunBlocks(trace.DefaultBlockSize, sim.AccessBlock)
 		m, err := sim.Results().MissesFor(cacheElems)
 		if err != nil {
 			return row, err
@@ -403,6 +403,55 @@ func RunFigureSimulated(n int64, procs []int64) ([]FigurePoint, error) {
 			c := cfg
 			c.Procs = p
 			pred, err := smp.Simulate(nest, env, c)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, FigurePoint{
+				Label:       ch.Label,
+				Procs:       p,
+				SecondsInf:  pred.SecondsInfinite(model),
+				SecondsBus:  pred.SecondsBus(model),
+				PerProcMiss: pred.PerProcMisses,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RunFigureSimulatedParallel is RunFigureSimulated with every processor's
+// private cache simulated explicitly (smp.SimulateShards) on a worker pool
+// of the given parallelism. For the figure's even splits the points equal
+// RunFigureSimulated's exactly; m receives the per-shard cachesim counter
+// flushes. Points whose n-tile exceeds the per-processor split bound n/P
+// are skipped: the tiled kernel has no partial-tile clamping, so such a
+// combination would index past the arrays (at the paper's scales, n = 1024
+// and 2048, every figure point is valid).
+func RunFigureSimulatedParallel(n int64, procs []int64, parallelism int, m *obs.Metrics) ([]FigurePoint, error) {
+	nest, err := kernels.TiledTwoIndex(kernels.SymbolicTwoIndexBounds())
+	if err != nil {
+		return nil, err
+	}
+	model := smp.DefaultCostModel()
+	cfg := smp.Config{SplitSymbol: "NN", CacheElems: KB(64), Model: model}
+	opt := smp.ShardOptions{Parallelism: parallelism, Obs: m}
+	choices := []smp.TileChoice{
+		{Label: "equi-32", Tiles: map[string]int64{"TI": 32, "TJ": 32, "TM": 32, "TN": 32}},
+		{Label: "equi-64", Tiles: map[string]int64{"TI": 64, "TJ": 64, "TM": 64, "TN": 64}},
+		{Label: "predicted-64x16x16x64", Tiles: map[string]int64{"TI": 64, "TJ": 16, "TM": 16, "TN": 64}},
+	}
+	var out []FigurePoint
+	for _, ch := range choices {
+		env := expr.Env{"NI": n, "NJ": n, "NM": n, "NN": n}
+		for k, v := range ch.Tiles {
+			env[k] = v
+		}
+		for _, p := range procs {
+			if ch.Tiles["TN"] > n/p {
+				continue
+			}
+			c := cfg
+			c.Procs = p
+			pred, err := smp.SimulateShards(nest, env, c, opt)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,11 @@
 package experiments
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+)
 
 func TestKB(t *testing.T) {
 	if KB(64) != 8192 {
@@ -154,5 +159,43 @@ func TestFigureOrderingSurvivesExactSimulation(t *testing.T) {
 			t.Errorf("P=%d: predicted tile %.4fs worse than best equi %.4fs (simulated)",
 				procs, pred[procs], best[procs])
 		}
+	}
+}
+
+// TestRunFigureSimulatedParallelMatches pins the sharded-pool figure to the
+// sequential symmetry-shortcut one: at a scale where no point is skipped,
+// the two must produce identical points at any pool width, and the shard
+// counter flushes must aggregate identically.
+func TestRunFigureSimulatedParallelMatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated figure is slow")
+	}
+	procs := []int64{1, 2}
+	seq, err := RunFigureSimulated(128, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RunFigureSimulated carries the same first three choices; filter to them.
+	keep := map[string]bool{"equi-32": true, "equi-64": true, "predicted-64x16x16x64": true}
+	var want []FigurePoint
+	for _, p := range seq {
+		if keep[p.Label] {
+			want = append(want, p)
+		}
+	}
+	var counters []map[string]int64
+	for _, j := range []int{1, 8} {
+		m := obs.New()
+		got, err := RunFigureSimulatedParallel(128, procs, j, m)
+		if err != nil {
+			t.Fatalf("j=%d: %v", j, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("j=%d: sharded figure diverges\ngot  %+v\nwant %+v", j, got, want)
+		}
+		counters = append(counters, m.Counters())
+	}
+	if !reflect.DeepEqual(counters[0], counters[1]) {
+		t.Fatalf("shard counters vary with pool width:\nj=1 %v\nj=8 %v", counters[0], counters[1])
 	}
 }

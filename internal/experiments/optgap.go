@@ -53,9 +53,9 @@ func RunOptGap(kind string, n int64, tiles []int64, cacheKBs []int64) ([]OptGapP
 		watches = append(watches, KB(kb))
 	}
 	sim := cachesim.NewStackSim(p.Size, len(p.Sites), watches)
-	p.Run(func(site int, addr int64) {
-		sim.Access(site, addr)
-		addrs = append(addrs, addr)
+	p.RunBlocks(trace.DefaultBlockSize, func(sites []int32, block []int64) {
+		sim.AccessBlock(sites, block)
+		addrs = append(addrs, block...)
 	})
 	res := sim.Results()
 

@@ -1,0 +1,27 @@
+package simbench
+
+import "testing"
+
+// The GenOnly benchmarks isolate trace *generation* from simulation by
+// feeding the emitted accesses to a no-op consumer. They decompose the
+// end-to-end SimScalar/SimBatched numbers: the per-access interpreter
+// overhead that RunBlocks' leaf-stride walker amortizes away is visible
+// here directly.
+
+func BenchmarkGenScalarOnly(b *testing.B) {
+	w := workload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Prog.RunScalar(func(int, int64) {})
+	}
+	reportPerAccess(b, w.Accesses)
+}
+
+func BenchmarkGenBatchedOnly(b *testing.B) {
+	w := workload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Prog.RunBlocks(0, func([]int32, []int64) {})
+	}
+	reportPerAccess(b, w.Accesses)
+}

@@ -1,0 +1,104 @@
+// Package simbench defines the simulator benchmark workloads shared by the
+// committed benchmark suite (simbench_test.go) and cmd/simbench, which
+// writes the BENCH_sim.json artifact. Keeping the workload definitions in
+// one place guarantees the artifact measures exactly what the go-test
+// benchmarks measure.
+package simbench
+
+import (
+	"repro/internal/cachesim"
+	"repro/internal/experiments"
+	"repro/internal/expr"
+	"repro/internal/trace"
+	"repro/internal/validate"
+)
+
+// Workload is one compiled trace-simulation problem.
+type Workload struct {
+	Name     string
+	Prog     *trace.Program
+	Accesses int64
+	Watches  []int64
+}
+
+// Matmul builds the standard tiled-matmul workload: the kernel whose
+// simulation cost the batched pipeline is tuned on. n=64 with 8×8×8 tiles
+// is the benchmark configuration committed in BENCH_sim.json (about 786k
+// accesses — large enough to swamp per-run setup, small enough for CI).
+func Matmul(n int64, tiles []int64) (*Workload, error) {
+	nest, env, err := experiments.BuildKernel("matmul", n, tiles)
+	if err != nil {
+		return nil, err
+	}
+	p, err := trace.Compile(nest, env)
+	if err != nil {
+		return nil, err
+	}
+	total, err := p.Length()
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{
+		Name:     "matmul-n64",
+		Prog:     p,
+		Accesses: total,
+		Watches:  []int64{experiments.KB(16), experiments.KB(64)},
+	}, nil
+}
+
+// RunScalar simulates the workload through the frozen pre-batching
+// pipeline: per-access emission (trace.RunScalar) feeding the Fenwick-tree
+// reference simulator. This is the baseline BENCH_sim.json speedups are
+// quoted against.
+func (w *Workload) RunScalar() cachesim.Results {
+	sim := cachesim.NewReferenceSim(w.Prog.Size, len(w.Prog.Sites), w.Watches)
+	w.Prog.RunScalar(sim.Access)
+	return sim.Results()
+}
+
+// RunBatched simulates the workload through the batched pipeline
+// (trace.RunBlocks feeding StackSim.AccessBlock). blockSize 0 means
+// trace.DefaultBlockSize.
+func (w *Workload) RunBatched(blockSize int) cachesim.Results {
+	sim := cachesim.NewStackSim(w.Prog.Size, len(w.Prog.Sites), w.Watches)
+	w.Prog.RunBlocks(blockSize, sim.AccessBlock)
+	return sim.Results()
+}
+
+// SweepCases builds the differential-sweep benchmark corpus: the tiled
+// matmul analysis evaluated under several bound/tile combinations. Each
+// case is an independent simulation, which is what validate.RunSweep
+// distributes over its worker pool.
+func SweepCases() ([]validate.Case, error) {
+	a, err := experiments.MatmulAnalysis()
+	if err != nil {
+		return nil, err
+	}
+	var cases []validate.Case
+	for _, cfg := range []struct {
+		n, t int64
+	}{
+		{48, 8}, {48, 16}, {64, 8}, {64, 16}, {64, 32}, {80, 8}, {80, 16}, {96, 32},
+	} {
+		cases = append(cases, validate.Case{
+			Name:     "matmul",
+			Analysis: a,
+			Env:      expr.Env{"N": cfg.n, "TI": cfg.t, "TJ": cfg.t, "TK": cfg.t},
+		})
+	}
+	return cases, nil
+}
+
+// SweepWatches is the capacity set the sweep benchmark validates at.
+func SweepWatches() []int64 {
+	return []int64{experiments.KB(16), experiments.KB(64)}
+}
+
+// RunSweep runs the benchmark sweep at the given pool width through either
+// pipeline.
+func RunSweep(cases []validate.Case, parallelism int, scalar bool) ([][]validate.Comparison, error) {
+	return validate.RunSweep(cases, SweepWatches(), validate.SweepOptions{
+		Parallelism: parallelism,
+		Scalar:      scalar,
+	})
+}

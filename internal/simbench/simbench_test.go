@@ -1,0 +1,116 @@
+package simbench
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestWorkloadPathsAgree is the package's own differential check: the two
+// pipelines must produce identical Results on the benchmark workload.
+func TestWorkloadPathsAgree(t *testing.T) {
+	w, err := Matmul(16, []int64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar := w.RunScalar()
+	batched := w.RunBatched(0)
+	if !reflect.DeepEqual(scalar, batched) {
+		t.Fatalf("pipelines diverge on %s:\nscalar  %+v\nbatched %+v", w.Name, scalar, batched)
+	}
+	if scalar.Accesses != w.Accesses {
+		t.Fatalf("simulated %d accesses, workload declares %d", scalar.Accesses, w.Accesses)
+	}
+}
+
+// TestSweepPathsAgree checks the sweep corpus through both pipelines at
+// two pool widths.
+func TestSweepPathsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep corpus is slow")
+	}
+	cases, err := SweepCases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = cases[:3]
+	ref, err := RunSweep(cases, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunSweep(cases, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatal("sweep pipelines diverge")
+	}
+}
+
+// benchWorkload caches the compiled benchmark workload across benchmarks.
+var benchWorkload *Workload
+
+func workload(b *testing.B) *Workload {
+	if benchWorkload == nil {
+		w, err := Matmul(64, []int64{8, 8, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchWorkload = w
+	}
+	return benchWorkload
+}
+
+func reportPerAccess(b *testing.B, accesses int64) {
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*accesses), "ns/access")
+}
+
+// BenchmarkSimScalar is the pre-batching baseline: per-access tree walk
+// feeding per-access stack simulation.
+func BenchmarkSimScalar(b *testing.B) {
+	w := workload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.RunScalar()
+	}
+	reportPerAccess(b, w.Accesses)
+}
+
+// BenchmarkSimBatched is the batched pipeline at the default block size.
+func BenchmarkSimBatched(b *testing.B) {
+	w := workload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.RunBatched(0)
+	}
+	reportPerAccess(b, w.Accesses)
+}
+
+// BenchmarkSweepScalarSeq is the validate differential sweep, sequential
+// scalar — the pre-PR configuration.
+func BenchmarkSweepScalarSeq(b *testing.B) {
+	cases, err := SweepCases()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSweep(cases, 1, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepBatchedSharded is the sweep on the batched pipeline with an
+// 8-wide worker pool.
+func BenchmarkSweepBatchedSharded(b *testing.B) {
+	cases, err := SweepCases()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSweep(cases, 8, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

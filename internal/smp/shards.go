@@ -1,0 +1,126 @@
+package smp
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/cachesim"
+	"repro/internal/expr"
+	"repro/internal/loopir"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// ShardOptions configures SimulateShards.
+type ShardOptions struct {
+	// Parallelism bounds the worker pool: n > 1 uses n workers, 0 or 1 runs
+	// sequentially, negative uses GOMAXPROCS.
+	Parallelism int
+	// Obs receives per-shard "cachesim.*" counter flushes. Counters are
+	// atomic, so totals are independent of Parallelism.
+	Obs *obs.Metrics
+}
+
+// SimulateShards is Simulate without the symmetry shortcut: it simulates
+// each of the P processors' private caches explicitly, one exact
+// stack-distance simulation per processor, distributed over a bounded
+// worker pool. The per-processor subproblem trace is compiled once and
+// shared — trace.Program carries no per-run mutable state, so concurrent
+// RunBlocks walks are safe — and each shard feeds its own StackSim through
+// the batched pipeline.
+//
+// The combined prediction takes PerProcMisses as the MAX over processors
+// (the straggler bounds the infinite-bandwidth time) and TotalMisses as the
+// SUM (the bus serializes all misses). For an evenly split symmetric
+// partition every shard is identical, so the result equals Simulate's; the
+// explicit form exists to exercise real sharded simulation and to extend to
+// asymmetric partitions.
+func SimulateShards(nest *loopir.Nest, env expr.Env, cfg Config, opt ShardOptions) (*Prediction, error) {
+	penv, err := perProcEnv(env, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p, err := trace.Compile(nest, penv)
+	if err != nil {
+		return nil, err
+	}
+	flops, err := Flops(nest).Eval(penv)
+	if err != nil {
+		return nil, err
+	}
+
+	procs := int(cfg.Procs)
+	missesPer := make([]int64, procs)
+	errs := make([]error, procs)
+	simulateShard := func(i int) {
+		sim := cachesim.NewStackSim(p.Size, len(p.Sites), []int64{cfg.CacheElems})
+		p.RunBlocks(trace.DefaultBlockSize, sim.AccessBlock)
+		res := sim.Results()
+		sim.FlushMetrics(opt.Obs)
+		missesPer[i], errs[i] = res.MissesFor(cfg.CacheElems)
+	}
+
+	workers := opt.Parallelism
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 0 {
+		workers = 1
+	}
+	if workers > procs {
+		workers = procs
+	}
+	if workers <= 1 {
+		for i := 0; i < procs; i++ {
+			simulateShard(i)
+		}
+	} else {
+		var next int
+		var nextMu sync.Mutex
+		take := func() int {
+			nextMu.Lock()
+			i := next
+			next++
+			nextMu.Unlock()
+			return i
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := take()
+					if i >= procs {
+						return
+					}
+					simulateShard(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var maxM, sumM int64
+	for _, m := range missesPer {
+		sumM += m
+		if m > maxM {
+			maxM = m
+		}
+	}
+	m := cfg.Model
+	compute := float64(flops) * m.FlopCost
+	return &Prediction{
+		Procs:          cfg.Procs,
+		PerProcMisses:  maxM,
+		TotalMisses:    sumM,
+		PerProcFlops:   flops,
+		TimeInfiniteBW: compute + float64(maxM)*m.MissPenalty,
+		TimeBusBound:   compute + float64(sumM)*m.MissPenalty,
+	}, nil
+}

@@ -155,7 +155,7 @@ func Simulate(nest *loopir.Nest, env expr.Env, cfg Config) (*Prediction, error) 
 		return nil, err
 	}
 	sim := cachesim.NewStackSim(p.Size, len(p.Sites), []int64{cfg.CacheElems})
-	p.Run(sim.Access)
+	p.RunBlocks(trace.DefaultBlockSize, sim.AccessBlock)
 	res := sim.Results()
 	misses, err := res.MissesFor(cfg.CacheElems)
 	if err != nil {

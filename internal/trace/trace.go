@@ -32,17 +32,40 @@ type Program struct {
 	Bases map[string]int64
 	Size  int64
 
-	root    []cnode
-	nSlots  int
-	checked bool
+	root     []cnode
+	nSlots   int
+	nLeaves  int   // leaf loops carrying the stride fast path
+	total    int64 // trace length, computed at compile time
+	minBlock int   // largest per-iteration emission unit; RunBlocks floor
+	checked  bool
 }
 
-type cnode interface{ run(vals []int64, emit Emit) }
+type cnode interface {
+	run(vals []int64, emit Emit)
+	runBlocks(vals []int64, b *blockRun)
+}
 
 type cloop struct {
 	trip int64
 	slot int
 	body []cnode
+	// Innermost-loop fast path: when the body consists solely of statements,
+	// the flattened reference list is precompiled here and runBlocks advances
+	// each reference's address by a per-iteration stride instead of
+	// re-evaluating the subscript terms. leafID indexes the per-run scratch
+	// array holding the current addresses. leaf == nil means general path.
+	leaf   []leafRef
+	leafID int
+}
+
+// leafRef is one reference of an innermost loop, split into the terms that
+// stay constant across the loop (rest, evaluated once on entry) and the
+// accumulated stride of the loop's own index (step, added per iteration).
+type leafRef struct {
+	site int32
+	step int64
+	base int64
+	rest []cterm
 }
 
 type cref struct {
@@ -183,11 +206,94 @@ func Compile(nest *loopir.Nest, env expr.Env) (*Program, error) {
 	}
 	p.root = root
 	p.nSlots = nSlots
+	p.annotate(root)
+	p.total = countAccesses(root)
 	return p, nil
 }
 
-// Run streams the full reference trace to emit, in program order.
+// annotate walks the compiled tree, marking innermost loops (bodies made
+// only of statements) with their flattened stride-form reference lists and
+// recording the largest indivisible emission unit for RunBlocks.
+func (p *Program) annotate(nodes []cnode) {
+	for _, nd := range nodes {
+		switch v := nd.(type) {
+		case *cloop:
+			v.leafID = -1
+			if refs, unit, ok := leafRefsOf(v); ok {
+				v.leaf = refs
+				v.leafID = p.nLeaves
+				p.nLeaves++
+				if unit > p.minBlock {
+					p.minBlock = unit
+				}
+				continue
+			}
+			p.annotate(v.body)
+		case *cstmt:
+			if len(v.refs) > p.minBlock {
+				p.minBlock = len(v.refs)
+			}
+		}
+	}
+}
+
+// leafRefsOf flattens a loop body into stride form when every child is a
+// statement. The returned unit is the number of accesses one iteration
+// emits, which RunBlocks must be able to buffer contiguously.
+func leafRefsOf(l *cloop) ([]leafRef, int, bool) {
+	var refs []leafRef
+	for _, nd := range l.body {
+		s, ok := nd.(*cstmt)
+		if !ok {
+			return nil, 0, false
+		}
+		for i := range s.refs {
+			r := &s.refs[i]
+			lr := leafRef{site: int32(r.site), base: r.base}
+			for _, t := range r.terms {
+				if t.slot == l.slot {
+					lr.step += t.stride
+				} else {
+					lr.rest = append(lr.rest, t)
+				}
+			}
+			refs = append(refs, lr)
+		}
+	}
+	return refs, len(refs), true
+}
+
+// countAccesses computes the trace length of a compiled subtree.
+func countAccesses(nodes []cnode) int64 {
+	var total int64
+	for _, nd := range nodes {
+		switch v := nd.(type) {
+		case *cloop:
+			total += v.trip * countAccesses(v.body)
+		case *cstmt:
+			total += int64(len(v.refs))
+		}
+	}
+	return total
+}
+
+// Run streams the full reference trace to emit, in program order. It is a
+// thin adapter over the batched RunBlocks pipeline; callers that can consume
+// whole blocks (e.g. cachesim.StackSim.AccessBlock) should use RunBlocks
+// directly to avoid the per-access callback.
 func (p *Program) Run(emit Emit) {
+	p.RunBlocks(DefaultBlockSize, func(sites []int32, addrs []int64) {
+		for i, a := range addrs {
+			emit(int(sites[i]), a)
+		}
+	})
+}
+
+// RunScalar streams the trace through the original per-access tree walker,
+// re-evaluating every subscript sum per reference. It is retained as the
+// reference implementation: the differential tests pin RunBlocks to it, and
+// the simulator benchmarks use it as the scalar baseline.
+func (p *Program) RunScalar(emit Emit) {
 	vals := make([]int64, p.nSlots)
 	for _, n := range p.root {
 		n.run(vals, emit)
@@ -197,37 +303,37 @@ func (p *Program) Run(emit Emit) {
 // CheckBounds runs the trace once, verifying that every address falls within
 // the address range of its array. It returns the first violation found.
 // Intended for tests and for validating user-supplied nests once before long
-// simulations.
+// simulations. The valid range of each site's array is resolved once up
+// front, so the per-access check is two comparisons regardless of how many
+// arrays the nest declares.
 func (p *Program) CheckBounds() error {
-	// Precompute (base, limit, name) sorted by base for address lookup.
-	type rangeInfo struct {
-		base, limit int64
-		name        string
-	}
-	var ranges []rangeInfo
-	for name, base := range p.Bases {
+	base := make([]int64, len(p.Sites))
+	limit := make([]int64, len(p.Sites))
+	for i, s := range p.Sites {
+		name := s.Ref().Array
+		b, ok := p.Bases[name]
+		if !ok {
+			return fmt.Errorf("trace: site %d references unknown array %s", i, name)
+		}
 		n, err := p.Nest.Arrays[name].Elements().Eval(p.Env)
 		if err != nil {
 			return err
 		}
-		ranges = append(ranges, rangeInfo{base, base + n, name})
+		base[i], limit[i] = b, b+n
 	}
 	var violation error
-	p.Run(func(site int, addr int64) {
+	p.RunBlocks(DefaultBlockSize, func(sites []int32, addrs []int64) {
 		if violation != nil {
 			return
 		}
-		name := p.Sites[site].Ref().Array
-		for _, r := range ranges {
-			if r.name == name {
-				if addr < r.base || addr >= r.limit {
-					violation = fmt.Errorf("trace: %s address %d outside [%d,%d) of %s",
-						p.Sites[site].Key(), addr, r.base, r.limit, name)
-				}
+		for i, addr := range addrs {
+			s := sites[i]
+			if addr < base[s] || addr >= limit[s] {
+				violation = fmt.Errorf("trace: %s address %d outside [%d,%d) of %s",
+					p.Sites[s].Key(), addr, base[s], limit[s], p.Sites[s].Ref().Array)
 				return
 			}
 		}
-		violation = fmt.Errorf("trace: site %d references unknown array %s", site, name)
 	})
 	return violation
 }

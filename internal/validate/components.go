@@ -78,7 +78,7 @@ func CheckComponents(a *core.Analysis, env expr.Env) ([]ComponentCheck, error) {
 			simDist[site][sd]++
 		}
 	}
-	p.Run(sim.Access)
+	p.RunBlocks(trace.DefaultBlockSize, sim.AccessBlock)
 
 	// Predicted distributions from the components.
 	predDist := map[string]SiteDistribution{}

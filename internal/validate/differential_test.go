@@ -48,15 +48,14 @@ func describe(i int, nest *loopir.Nest, err string) string {
 
 const diffSeed = 20260805
 
-func TestDifferentialModelVsSimulator(t *testing.T) {
-	total := diffNests
-	if testing.Short() {
-		total = 12
-	}
+// diffCorpus deterministically generates the differential corpus: the nest,
+// env and analysis for each index. Generation is sequential (the rand
+// stream orders it); simulation is what RunSweep distributes.
+func diffCorpus(t *testing.T, total int) ([]Case, []*loopir.Nest) {
+	t.Helper()
 	r := rand.New(rand.NewSource(diffSeed))
-	var maxRel, sumRel float64
-	var maxDesc string
-	checked := 0
+	cases := make([]Case, 0, total)
+	nests := make([]*loopir.Nest, 0, total)
 	for i := 0; i < total; i++ {
 		var cfg nestgen.Config
 		switch i % 4 {
@@ -74,10 +73,27 @@ func TestDifferentialModelVsSimulator(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s", describe(i, nest, "analysis failed: "+err.Error()))
 		}
-		cmps, err := Run(a, env, []int64{8, 32, 128, 512})
-		if err != nil {
-			t.Fatalf("%s", describe(i, nest, "differential run failed: "+err.Error()))
-		}
+		cases = append(cases, Case{Name: nest.Name, Analysis: a, Env: env})
+		nests = append(nests, nest)
+	}
+	return cases, nests
+}
+
+func TestDifferentialModelVsSimulator(t *testing.T) {
+	total := diffNests
+	if testing.Short() {
+		total = 12
+	}
+	cases, nests := diffCorpus(t, total)
+	all, err := RunSweep(cases, []int64{8, 32, 128, 512}, SweepOptions{Parallelism: -1})
+	if err != nil {
+		t.Fatalf("differential sweep failed: %v", err)
+	}
+	var maxRel, sumRel float64
+	var maxDesc string
+	checked := 0
+	for i, cmps := range all {
+		nest := nests[i]
 		if err := CheckCompulsory(cmps); err != nil {
 			t.Errorf("%s", describe(i, nest, err.Error()))
 		}
@@ -103,7 +119,7 @@ func TestDifferentialModelVsSimulator(t *testing.T) {
 			if env4 := envelopeFor(c.CacheElems); rel > env4 {
 				t.Errorf("%s", describe(i, nest, fmt.Sprintf(
 					"capacity %d: predicted %d vs simulated %d (rel err %.3f > envelope %.2f), env %v",
-					c.CacheElems, c.PredictedTotal, c.SimulatedTotal, rel, env4, env)))
+					c.CacheElems, c.PredictedTotal, c.SimulatedTotal, rel, env4, cases[i].Env)))
 			}
 		}
 	}

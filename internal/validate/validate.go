@@ -75,16 +75,37 @@ func Run(a *core.Analysis, env expr.Env, watches []int64) ([]Comparison, error) 
 // "simulate.total" timer and the simulator's operation counters are flushed
 // into the registry's "cachesim.*" counters. A nil registry disables
 // recording (Run is exactly RunObserved with nil).
+//
+// The simulation goes through the batched pipeline (trace.RunBlocks feeding
+// cachesim.AccessBlock); results and counter values are identical to the
+// per-access path, which remains reachable via RunSweep's Scalar option.
 func RunObserved(a *core.Analysis, env expr.Env, watches []int64, m *obs.Metrics) ([]Comparison, error) {
+	return runOne(a, env, watches, m, SweepOptions{})
+}
+
+// runOne is the shared body of RunObserved and RunSweep shards: simulate
+// once, compare at every watched capacity.
+func runOne(a *core.Analysis, env expr.Env, watches []int64, m *obs.Metrics, opt SweepOptions) ([]Comparison, error) {
 	sw := m.Timer("simulate.total").Start()
 	p, err := trace.Compile(a.Nest, env)
 	if err != nil {
 		return nil, err
 	}
-	sim := cachesim.NewStackSim(p.Size, len(p.Sites), watches)
-	p.Run(sim.Access)
-	res := sim.Results()
-	sim.FlushMetrics(m)
+	var res cachesim.Results
+	if opt.Scalar {
+		// The frozen pre-batching pipeline: per-access emission into the
+		// Fenwick-tree reference simulator. Kept both as a benchmark
+		// baseline and as an independent implementation to diff against.
+		ref := cachesim.NewReferenceSim(p.Size, len(p.Sites), watches)
+		p.RunScalar(ref.Access)
+		res = ref.Results()
+		ref.FlushMetrics(m)
+	} else {
+		sim := cachesim.NewStackSim(p.Size, len(p.Sites), watches)
+		p.RunBlocks(opt.BlockSize, sim.AccessBlock)
+		res = sim.Results()
+		sim.FlushMetrics(m)
+	}
 	sw.Stop()
 
 	var out []Comparison
