@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet race fuzz-smoke bench bench-sim cover golden
+.PHONY: all build test check vet race fuzz-smoke bench bench-sim bench-eval cover golden
 
 all: build
 
@@ -37,6 +37,14 @@ bench:
 bench-sim:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/simbench
 	$(GO) run ./cmd/simbench -o BENCH_sim.json
+
+# Symbolic-evaluation benchmarks (tree-walking baseline vs compiled
+# programs on slot frames) and the committed BENCH_eval.json artifact,
+# sharing the internal/evalbench workload definitions the same way
+# bench-sim shares internal/simbench.
+bench-eval:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/evalbench
+	$(GO) run ./cmd/evalbench -o BENCH_eval.json
 
 # Golden-file tests for the cmd tools' text output and RunReport JSON.
 # Regenerate with: go test ./cmd/... -update

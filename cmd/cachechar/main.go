@@ -261,7 +261,7 @@ func run(w io.Writer, o options) error {
 	}
 
 	cache := caps[0]
-	rep2, err := a.PredictMisses(env, cache)
+	rep2, err := a.PredictMissesFrame(a.SymTab().FrameOf(env), cache)
 	if err != nil {
 		return err
 	}
@@ -329,6 +329,8 @@ func capacitySweep(w io.Writer, a *core.Analysis, nest *loopir.Nest, env expr.En
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Frames are single-goroutine scratch; each worker binds its own.
+			f := a.SymTab().FrameOf(env)
 			for {
 				mu.Lock()
 				i := next
@@ -337,7 +339,7 @@ func capacitySweep(w io.Writer, a *core.Analysis, nest *loopir.Nest, env expr.En
 				if i >= len(caps) {
 					return
 				}
-				reps[i], errs[i] = ec.PredictMisses(env, caps[i])
+				reps[i], errs[i] = ec.PredictMissesFrame(f, caps[i])
 			}
 		}()
 	}

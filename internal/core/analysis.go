@@ -20,6 +20,10 @@ type Analysis struct {
 	Components []*Component
 
 	sc *spanCoster
+	// ca is the compiled layer (compiled.go): every trip, extent and
+	// component expression flattened into expr.Programs over one
+	// analysis-wide SymTab. Built at the end of AnalyzeWithOptions.
+	ca *compiledAnalysis
 }
 
 // Options toggles the model's span-cost refinements, for ablation studies.
@@ -109,6 +113,10 @@ func AnalyzeWithOptions(nest *loopir.Nest, opts Options) (*Analysis, error) {
 		}
 		m.Timer("analyze.partition").Observe(walk)
 	}
+	compileSW := m.Timer("analyze.compile").Start()
+	a.ca = compileAnalysis(a)
+	compileSW.Stop()
+	m.Gauge("expr.programs").Set(a.ca.programCount())
 	return a, nil
 }
 

@@ -38,7 +38,10 @@ type EvalCache struct {
 	// always; coalesced counts the subset of hits that had to wait for a
 	// concurrent computation of the same key and is therefore zero in
 	// sequential use; entries tracks the number of distinct keys stored.
+	// frameEvals counts the misses computed through compiled programs on a
+	// Frame (the frame path) rather than by tree-walking an Env.
 	mLookups, mHits, mMisses, mCoalesced *obs.Counter
+	mFrameEvals                          *obs.Counter
 	mEntries                             *obs.Gauge
 }
 
@@ -59,8 +62,10 @@ func (s CacheStats) HitRate() float64 {
 
 type compCache struct {
 	c       *Component
+	cc      *compiledComponent
 	vars    []string // sorted symbols mentioned by the component's expressions
-	entries sync.Map // key string -> *compEntry
+	slots   []int    // slots of vars in the analysis SymTab, same order
+	entries sync.Map // packed binary key (string) -> *compEntry
 }
 
 type compEntry struct {
@@ -82,14 +87,16 @@ func NewEvalCache(a *Analysis) *EvalCache {
 // gauge. A nil registry disables recording.
 func NewEvalCacheWithMetrics(a *Analysis, m *obs.Metrics) *EvalCache {
 	ec := &EvalCache{
-		a:          a,
-		comps:      make([]compCache, len(a.Components)),
-		mLookups:   m.Counter("evalcache.lookups"),
-		mHits:      m.Counter("evalcache.hits"),
-		mMisses:    m.Counter("evalcache.misses"),
-		mCoalesced: m.Counter("evalcache.coalesced"),
-		mEntries:   m.Gauge("evalcache.entries"),
+		a:           a,
+		comps:       make([]compCache, len(a.Components)),
+		mLookups:    m.Counter("evalcache.lookups"),
+		mHits:       m.Counter("evalcache.hits"),
+		mMisses:     m.Counter("evalcache.misses"),
+		mCoalesced:  m.Counter("evalcache.coalesced"),
+		mFrameEvals: m.Counter("evalcache.frame_evals"),
+		mEntries:    m.Gauge("evalcache.entries"),
 	}
+	tab := a.ca.tab
 	for i, c := range a.Components {
 		vars := map[string]bool{}
 		c.Count.Vars(vars)
@@ -105,7 +112,11 @@ func NewEvalCacheWithMetrics(a *Analysis, m *obs.Metrics) *EvalCache {
 			names = append(names, n)
 		}
 		sort.Strings(names)
-		ec.comps[i] = compCache{c: c, vars: names}
+		slots := make([]int, len(names))
+		for j, n := range names {
+			slots[j] = tab.Slot(n)
+		}
+		ec.comps[i] = compCache{c: c, cc: &a.ca.comps[i], vars: names, slots: slots}
 	}
 	return ec
 }
@@ -147,10 +158,56 @@ func (ec *EvalCache) PredictTotal(env expr.Env, cacheElems int64) (int64, error)
 	return rep.Total, nil
 }
 
-func (cc *compCache) eval(ec *EvalCache, env expr.Env, cacheElems int64) (ComponentMisses, error) {
+// packKey appends one bound byte and 8 little-endian value bytes: the
+// fixed-width binary element of the cache key. It replaces the decimal
+// "name=value" rendering the cache used before the compiled layer existed —
+// no formatting, one string allocation per lookup, equal-length keys.
+func packKey(buf []byte, bound bool, v int64) []byte {
+	if !bound {
+		return append(buf, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+	}
+	return append(buf, 1,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// envKey and frameKey produce identical bytes for identical bindings (both
+// walk the component's relevant symbols in sorted order), so env-path and
+// frame-path lookups share cache entries.
+func (cc *compCache) envKey(env expr.Env) string {
+	var arr [9 * 8]byte
+	buf := arr[:0]
+	for _, name := range cc.vars {
+		v, ok := env[name]
+		buf = packKey(buf, ok, v)
+	}
+	return string(buf)
+}
+
+func (cc *compCache) frameKey(f *expr.Frame) string {
+	var arr [9 * 8]byte
+	buf := arr[:0]
+	for _, slot := range cc.slots {
+		v, ok := f.Get(slot)
+		buf = packKey(buf, ok, v)
+	}
+	return string(buf)
+}
+
+// lookup runs the memoized-entry protocol for key, calling compute exactly
+// once per distinct key across all goroutines.
+func (ec *EvalCache) lookup(cc *compCache, key string, compute func() (componentValues, error)) *compEntry {
 	ec.lookups.Add(1)
 	ec.mLookups.Inc()
-	key := env.Key(cc.vars)
+	// Fast path: a completed entry costs no allocation (LoadOrStore would
+	// build a throwaway compEntry per hit).
+	if v, ok := cc.entries.Load(key); ok {
+		e := v.(*compEntry)
+		if e.done.Load() {
+			ec.mHits.Inc()
+			return e
+		}
+	}
 	v, loaded := cc.entries.LoadOrStore(key, &compEntry{})
 	e := v.(*compEntry)
 	if !loaded {
@@ -158,25 +215,82 @@ func (cc *compCache) eval(ec *EvalCache, env expr.Env, cacheElems int64) (Compon
 	}
 	if e.done.Load() {
 		ec.mHits.Inc()
-	} else {
-		mine := false
-		e.once.Do(func() {
-			ec.computed.Add(1)
-			e.v, e.err = evalComponentValues(cc.c, env)
-			e.done.Store(true)
-			mine = true
-		})
-		if mine {
-			ec.mMisses.Inc()
-		} else {
-			// Another goroutine computed this key while we waited on (or
-			// raced with) its sync.Once: a hit, but a coalesced one.
-			ec.mHits.Inc()
-			ec.mCoalesced.Inc()
-		}
+		return e
 	}
+	mine := false
+	e.once.Do(func() {
+		ec.computed.Add(1)
+		e.v, e.err = compute()
+		e.done.Store(true)
+		mine = true
+	})
+	if mine {
+		ec.mMisses.Inc()
+	} else {
+		// Another goroutine computed this key while we waited on (or
+		// raced with) its sync.Once: a hit, but a coalesced one.
+		ec.mHits.Inc()
+		ec.mCoalesced.Inc()
+	}
+	return e
+}
+
+func (cc *compCache) eval(ec *EvalCache, env expr.Env, cacheElems int64) (ComponentMisses, error) {
+	e := ec.lookup(cc, cc.envKey(env), func() (componentValues, error) {
+		return evalComponentValues(cc.c, env)
+	})
 	if e.err != nil {
 		return ComponentMisses{Component: cc.c, Count: e.v.Count}, e.err
 	}
 	return classifyComponent(cc.c, e.v, cacheElems), nil
+}
+
+func (cc *compCache) evalFrame(ec *EvalCache, f *expr.Frame, cacheElems int64) (ComponentMisses, error) {
+	e := ec.lookup(cc, cc.frameKey(f), func() (componentValues, error) {
+		ec.mFrameEvals.Inc()
+		return cc.cc.evalComponentValuesFrame(f)
+	})
+	if e.err != nil {
+		return ComponentMisses{Component: cc.c, Count: e.v.Count}, e.err
+	}
+	return classifyComponent(cc.c, e.v, cacheElems), nil
+}
+
+// PredictMissesFrame is PredictMisses through the frame path: memoized
+// compiled-program evaluation over packed slot values, no Env map, no tree
+// walks. The frame must stem from the analysis SymTab (Analysis.NewFrame).
+func (ec *EvalCache) PredictMissesFrame(f *expr.Frame, cacheElems int64) (*MissReport, error) {
+	if err := ec.a.ca.validateFrame(f); err != nil {
+		return nil, err
+	}
+	rep := &MissReport{CacheElems: cacheElems, BySite: map[string]int64{}}
+	for i := range ec.comps {
+		cm, err := ec.comps[i].evalFrame(ec, f, cacheElems)
+		if err != nil {
+			return nil, err
+		}
+		rep.Detail = append(rep.Detail, cm)
+		rep.Total += cm.Misses
+		rep.BySite[cm.Component.Site.Key()] += cm.Misses
+		rep.Accesses += cm.Count
+	}
+	return rep, nil
+}
+
+// PredictTotalFrame is PredictMissesFrame reduced to the total, without
+// materializing a report — the tile search scores every candidate through
+// this, so the per-call allocation (report, detail slice, site map) matters.
+func (ec *EvalCache) PredictTotalFrame(f *expr.Frame, cacheElems int64) (int64, error) {
+	if err := ec.a.ca.validateFrame(f); err != nil {
+		return 0, err
+	}
+	var total int64
+	for i := range ec.comps {
+		cm, err := ec.comps[i].evalFrame(ec, f, cacheElems)
+		if err != nil {
+			return 0, err
+		}
+		total += cm.Misses
+	}
+	return total, nil
 }

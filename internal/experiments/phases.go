@@ -24,13 +24,19 @@ func RunPhaseCurve(n int64, cacheElems int64) ([]PhasePoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One reused frame across the sweep: each tile size is three slot stores.
+	tab := a.SymTab()
+	f := tab.FrameOf(expr.Env{"N": n})
+	slots := []int{tab.Slot("TI"), tab.Slot("TJ"), tab.Slot("TK")}
 	var out []PhasePoint
 	for t := int64(2); t <= n; t++ {
 		if n%t != 0 {
 			continue
 		}
-		env := expr.Env{"N": n, "TI": t, "TJ": t, "TK": t}
-		m, err := a.PredictTotal(env, cacheElems)
+		for _, s := range slots {
+			f.Set(s, t)
+		}
+		m, err := a.PredictTotalFrame(f, cacheElems)
 		if err != nil {
 			return nil, err
 		}

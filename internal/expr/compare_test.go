@@ -1,6 +1,7 @@
 package expr
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -88,5 +89,67 @@ func TestGEForPositive(t *testing.T) {
 	}
 	if GEForPositive(d, Div(n, tj)) {
 		t.Error("incomparable opaques accepted")
+	}
+}
+
+// Edge cases around the Inf sentinel: Inf >= Inf must hold (both arms of
+// the a/b Inf checks fire, a's wins), and nothing finite dominates Inf.
+func TestGEForPositiveInfEdges(t *testing.T) {
+	if !GEForPositive(Inf(), Inf()) {
+		t.Error("inf >= inf should hold")
+	}
+	if GEForPositive(Zero(), Inf()) || GEForPositive(Const(math.MaxInt64), Inf()) {
+		t.Error("finite constants must not dominate inf")
+	}
+	if !GEForPositive(Inf(), Zero()) {
+		t.Error("inf >= 0 should hold")
+	}
+}
+
+// Mixed polynomial/division comparisons fall back to structural equality:
+// sound-but-incomplete means every true answer must be justified, and
+// obviously-true-but-opaque orderings are allowed to come back false.
+func TestGEForPositiveMixedPolyDiv(t *testing.T) {
+	n, ti := Var("N"), Var("TI")
+	d := Div(n, ti)
+	// floor(N/TI) <= N pointwise, but the comparison cannot prove it:
+	// incomparable kinds fall back to Equal, which is false — sound.
+	if GEForPositive(n, d) {
+		t.Error("poly vs div must not be proven without polynomial reasoning")
+	}
+	if GEForPositive(d, n) {
+		t.Error("div vs poly must not be proven")
+	}
+	// Sums mixing polys and divisions: identical structure is provable...
+	s := Add(Mul(n, ti), Div(n, ti))
+	if !GEForPositive(s, s) {
+		t.Error("mixed sum >= itself should hold")
+	}
+	// ...but a strictly-smaller variant is not (opaque kinds, no Sub).
+	s2 := Add(Mul(n, ti), Div(n, Mul(ti, ti)))
+	if GEForPositive(s, s2) || GEForPositive(s2, s) {
+		t.Error("distinct mixed sums must be incomparable")
+	}
+	// CeilDiv vs Div of the same operands are distinct nodes.
+	if GEForPositive(CeilDiv(n, ti), Div(n, ti)) {
+		t.Error("ceil vs floor must not compare equal")
+	}
+}
+
+// NonNegativeForPositive on division nodes requires both operands
+// nonnegative; a possibly-negative numerator poisons the division.
+func TestNonNegativeForPositiveDivEdges(t *testing.T) {
+	n, ti := Var("N"), Var("TI")
+	if !Div(Add(n, Const(1)), ti).NonNegativeForPositive() {
+		t.Error("(N+1)/TI should be provably nonnegative")
+	}
+	if Div(Sub(n, Const(5)), ti).NonNegativeForPositive() {
+		t.Error("(N-5)/TI must not be provable")
+	}
+	if Div(n, Sub(ti, Const(5))).NonNegativeForPositive() {
+		t.Error("N/(TI-5) must not be provable")
+	}
+	if !CeilDiv(Mul(n, ti), Add(ti, Const(1))).NonNegativeForPositive() {
+		t.Error("ceil(N*TI/(TI+1)) should be provably nonnegative")
 	}
 }

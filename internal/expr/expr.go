@@ -117,7 +117,7 @@ func newPoly(p poly) *Expr {
 	}
 	e := &Expr{kind: KindPoly, poly: p}
 	e.str = e.render()
-	return e
+	return intern(e)
 }
 
 // Kind reports the node kind of e.
@@ -146,11 +146,19 @@ func (e *Expr) ConstVal() (int64, bool) {
 }
 
 // Equal reports structural equality of the canonical forms of e and o.
+// Because every constructor hash-conses its result (intern.go), equal
+// canonical forms are the same node and the comparison is a pointer test;
+// the rendering comparison remains only as a safety net for nodes of
+// distinct kinds that happen to share a rendering (which the intern key
+// keeps distinct on purpose).
 func (e *Expr) Equal(o *Expr) bool {
-	if e == nil || o == nil {
-		return e == o
+	if e == o {
+		return true
 	}
-	return e.str == o.str
+	if e == nil || o == nil {
+		return false
+	}
+	return e.kind == o.kind && e.str == o.str
 }
 
 // String returns the canonical rendering of e. Monomials print in
@@ -413,7 +421,7 @@ func minMax(kind Kind, xs []*Expr) *Expr {
 func newOpaque(kind Kind, args []*Expr) *Expr {
 	e := &Expr{kind: kind, args: args}
 	e.str = e.render()
-	return e
+	return intern(e)
 }
 
 // Eval evaluates e under env. It returns ErrUnbound if a symbol is missing.

@@ -1,0 +1,40 @@
+package expr
+
+import "sync"
+
+// Hash-consing. Every Expr constructor routes its result through intern, so
+// at any time the process holds at most one *Expr per (kind, canonical
+// rendering) pair. Structural equality of canonical forms is therefore
+// pointer equality, which is what lets Equal, the candidate caches and the
+// op-slice compiler compare and key expressions without touching their
+// string renderings on hot paths.
+//
+// The table is global and append-only: expressions are immutable, so a
+// node interned once can be shared by every analysis in the process. The
+// key includes the kind, not just the rendering, because two nodes of
+// different kinds can share a rendering (e.g. Var("inf") and Inf() both
+// render "inf") and must not be conflated.
+type internKey struct {
+	kind Kind
+	str  string
+}
+
+var internTab sync.Map // internKey -> *Expr
+
+func init() {
+	// infExpr is constructed as a package var rather than through a
+	// constructor; publish it so the table is complete.
+	internTab.Store(internKey{KindInf, infExpr.str}, infExpr)
+}
+
+// intern returns the canonical node for e, publishing e if it is the first
+// of its (kind, rendering) pair. e must be fully constructed (str rendered)
+// and must never be mutated afterwards.
+func intern(e *Expr) *Expr {
+	k := internKey{e.kind, e.str}
+	if got, ok := internTab.Load(k); ok {
+		return got.(*Expr)
+	}
+	got, _ := internTab.LoadOrStore(k, e)
+	return got.(*Expr)
+}

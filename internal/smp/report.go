@@ -47,17 +47,15 @@ func PredictUneven(a *core.Analysis, env expr.Env, cfg Config, tile int64) (*Pre
 	big := tiles % cfg.Procs
 	small := tiles / cfg.Procs
 
+	f := a.SymTab().FrameOf(env)
+	flopsProg := expr.Compile(Flops(a.Nest), a.SymTab())
 	eval := func(chunkTiles int64) (misses, flops int64, err error) {
-		penv := expr.Env{}
-		for k, v := range env {
-			penv[k] = v
-		}
-		penv[cfg.SplitSymbol] = chunkTiles * tile
-		misses, err = a.PredictTotal(penv, cfg.CacheElems)
+		f.SetName(cfg.SplitSymbol, chunkTiles*tile)
+		misses, err = a.PredictTotalFrame(f, cfg.CacheElems)
 		if err != nil {
 			return 0, 0, err
 		}
-		flops, err = Flops(a.Nest).Eval(penv)
+		flops, err = flopsProg.Eval(f)
 		return misses, flops, err
 	}
 

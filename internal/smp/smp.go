@@ -124,17 +124,25 @@ func perProcEnv(env expr.Env, cfg Config) (expr.Env, error) {
 // Predict computes the parallel time prediction from the analytical model:
 // each processor executes the sequential subproblem with the split bound
 // scaled by 1/P, and the two limit cost models combine the per-processor
-// miss counts.
+// miss counts. Evaluation goes through a frame over the analysis symbol
+// table; the Env parameter is the compatibility surface.
 func Predict(a *core.Analysis, env expr.Env, cfg Config) (*Prediction, error) {
 	penv, err := perProcEnv(env, cfg)
 	if err != nil {
 		return nil, err
 	}
-	misses, err := a.PredictTotal(penv, cfg.CacheElems)
+	f := a.SymTab().FrameOf(penv)
+	return predictFrame(a, f, expr.Compile(Flops(a.Nest), a.SymTab()), cfg)
+}
+
+// predictFrame runs one prediction against an already-bound frame (the split
+// bound already scaled by 1/P).
+func predictFrame(a *core.Analysis, f *expr.Frame, flopsProg *expr.Program, cfg Config) (*Prediction, error) {
+	misses, err := a.PredictTotalFrame(f, cfg.CacheElems)
 	if err != nil {
 		return nil, err
 	}
-	flops, err := Flops(a.Nest).Eval(penv)
+	flops, err := flopsProg.Eval(f)
 	if err != nil {
 		return nil, err
 	}
@@ -195,26 +203,47 @@ type SweepPoint struct {
 }
 
 // Sweep evaluates every tile choice at every processor count, reproducing
-// the structure of the paper's Figures 10 and 11.
+// the structure of the paper's Figures 10 and 11. The flop expression is
+// compiled once and a single frame is rebound per cell — the sweep used to
+// rebuild an Env map and re-walk the expression trees for every (tiles, P)
+// pair.
 func Sweep(a *core.Analysis, baseEnv expr.Env, cfg Config, procs []int64, choices []TileChoice) ([]SweepPoint, error) {
+	tab := a.SymTab()
+	flopsProg := expr.Compile(Flops(a.Nest), tab)
+	f := tab.NewFrame()
 	var out []SweepPoint
 	for _, ch := range choices {
-		env := expr.Env{}
-		for k, v := range baseEnv {
-			env[k] = v
-		}
+		// Reset so no tile binding from the previous choice leaks into a
+		// choice that does not set that dimension.
+		f.Reset()
+		f.Bind(baseEnv)
 		for k, v := range ch.Tiles {
-			env[k] = v
+			f.SetName(k, v)
+		}
+		// The split bound comes from the choice's tiles if set there, else
+		// the base environment — the same resolution the Env-merging path
+		// performed.
+		n, ok := ch.Tiles[cfg.SplitSymbol]
+		if !ok {
+			n, ok = baseEnv[cfg.SplitSymbol]
+		}
+		if !ok {
+			return nil, fmt.Errorf("smp: env missing split symbol %s", cfg.SplitSymbol)
 		}
 		for _, p := range procs {
 			c := cfg
 			c.Procs = p
-			pred, err := Predict(a, env, c)
+			if p <= 0 || n%p != 0 {
+				return nil, fmt.Errorf("smp: %d processors do not divide %s=%d", p, cfg.SplitSymbol, n)
+			}
+			f.SetName(cfg.SplitSymbol, n/p)
+			pred, err := predictFrame(a, f, flopsProg, c)
 			if err != nil {
 				return nil, err
 			}
 			out = append(out, SweepPoint{Choice: ch, Pred: *pred})
 		}
+		f.SetName(cfg.SplitSymbol, n)
 	}
 	return out, nil
 }

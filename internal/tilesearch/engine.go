@@ -29,10 +29,25 @@ import (
 // outcome — including tie-breaking between equal-miss candidates —
 // byte-identical across parallelism levels.
 type evaluator struct {
+	a       *core.Analysis
 	ec      *core.EvalCache
 	opt     Options
 	ctx     context.Context
 	workers int
+
+	// dimSlots are the SymTab slots of the tile symbols, aligned with
+	// opt.Dims: binding a candidate into a frame is len(Dims) stores, no
+	// map, no allocation.
+	dimSlots []int
+	// seqFrame is the reusable frame of the calling goroutine (frontier
+	// probes and sequential batches). Worker goroutines build their own in
+	// evalBatch — frames are single-goroutine scratch.
+	seqFrame *expr.Frame
+	// Unknown-bounds mode: per-component flags precomputed once so the
+	// per-candidate scoring loop does no Vars() set-building (boundFreeMisses
+	// used to rebuild them per call). Aligned with a.Components.
+	infSD   []bool
+	boundSD []bool
 
 	mu    sync.Mutex
 	cands map[string]*candEntry
@@ -56,13 +71,43 @@ func newEvaluator(a *core.Analysis, opt Options) *evaluator {
 	if workers == 0 {
 		workers = 1
 	}
-	return &evaluator{
+	ev := &evaluator{
+		a:       a,
 		ec:      core.NewEvalCacheWithMetrics(a, opt.Obs),
 		opt:     opt,
 		ctx:     ctx,
 		workers: workers,
 		cands:   map[string]*candEntry{},
 	}
+	tab := a.SymTab()
+	ev.dimSlots = make([]int, len(opt.Dims))
+	for i, d := range opt.Dims {
+		ev.dimSlots[i] = tab.Slot(d.Symbol)
+	}
+	ev.seqFrame = ev.newFrame()
+	if opt.UnknownBounds != nil {
+		comps := a.Components
+		ev.infSD = make([]bool, len(comps))
+		ev.boundSD = make([]bool, len(comps))
+		for i, c := range comps {
+			if c.SD.Base.IsInf() {
+				ev.infSD[i] = true
+				continue
+			}
+			ev.boundSD[i] = c.SD.Base.HasAnyVar(opt.UnknownBounds) ||
+				(c.SD.Slope != nil && c.SD.Slope.HasAnyVar(opt.UnknownBounds))
+		}
+	}
+	return ev
+}
+
+// newFrame builds a worker-lifetime frame with the base environment already
+// bound. Candidates then only overwrite the tile slots: every assignment
+// binds every dimension, so no stale tile value survives between candidates.
+func (ev *evaluator) newFrame() *expr.Frame {
+	f := ev.a.NewFrame()
+	f.Bind(ev.opt.BaseEnv)
+	return f
 }
 
 // entry returns the cache slot for a tile assignment, creating it if needed.
@@ -84,16 +129,42 @@ func (ev *evaluator) evaluated() int {
 	return len(ev.cands)
 }
 
-// eval scores one tile assignment, memoized on the assignment key.
-func (ev *evaluator) eval(tiles map[string]int64) (Candidate, error) {
+// eval scores one tile assignment, memoized on the assignment key. The
+// frame is the calling goroutine's scratch — workers pass their own,
+// sequential callers pass ev.seqFrame.
+func (ev *evaluator) eval(tiles map[string]int64, f *expr.Frame) (Candidate, error) {
 	e := ev.entry(tileKey(tiles, ev.opt.Dims))
 	e.once.Do(func() {
-		e.c, e.err = ev.compute(tiles)
+		e.c, e.err = ev.compute(tiles, f)
 	})
 	return e.c, e.err
 }
 
-func (ev *evaluator) compute(tiles map[string]int64) (Candidate, error) {
+func (ev *evaluator) compute(tiles map[string]int64, f *expr.Frame) (Candidate, error) {
+	if ev.opt.TreeEval {
+		return ev.computeTree(tiles)
+	}
+	for i, d := range ev.opt.Dims {
+		f.Set(ev.dimSlots[i], tiles[d.Symbol])
+	}
+	var misses int64
+	var err error
+	if ev.opt.UnknownBounds != nil {
+		misses, err = ev.boundFreeMissesFrame(f)
+	} else {
+		misses, err = ev.ec.PredictTotalFrame(f, ev.opt.CacheElems)
+	}
+	if err != nil {
+		return Candidate{}, err
+	}
+	return Candidate{Tiles: cloneTiles(tiles), Misses: misses}, nil
+}
+
+// computeTree is the pre-compilation scoring path — Env maps and
+// tree-walking evaluation — kept alive as the measured baseline for
+// BENCH_eval.json (Options.TreeEval). Results are identical to compute;
+// only the cost differs.
+func (ev *evaluator) computeTree(tiles map[string]int64) (Candidate, error) {
 	env := expr.Env{}
 	for k, v := range ev.opt.BaseEnv {
 		env[k] = v
@@ -127,7 +198,7 @@ func (ev *evaluator) evalBatch(assigns []map[string]int64) ([]Candidate, error) 
 			if err := ev.ctx.Err(); err != nil {
 				return nil, err
 			}
-			c, err := ev.eval(a)
+			c, err := ev.eval(a, ev.seqFrame)
 			if err != nil {
 				return nil, err
 			}
@@ -161,6 +232,7 @@ func (ev *evaluator) evalBatch(assigns []map[string]int64) ([]Candidate, error) 
 				items = ev.opt.Obs.Counter(fmt.Sprintf("worker.%d.items", w))
 				busy = ev.opt.Obs.Timer(fmt.Sprintf("worker.%d.busy", w))
 			}
+			f := ev.newFrame() // worker-lifetime frame, reused per candidate
 			for {
 				i := take()
 				if i >= len(assigns) {
@@ -171,7 +243,7 @@ func (ev *evaluator) evalBatch(assigns []map[string]int64) ([]Candidate, error) 
 					continue
 				}
 				sw := busy.Start()
-				out[i], errs[i] = ev.eval(assigns[i])
+				out[i], errs[i] = ev.eval(assigns[i], f)
 				sw.Stop()
 				items.Inc()
 			}
@@ -197,19 +269,32 @@ func (ev *evaluator) boundFreeMisses(env expr.Env) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	return ev.reduceBoundFree(rep), nil
+}
+
+// boundFreeMissesFrame is boundFreeMisses through the frame path.
+func (ev *evaluator) boundFreeMissesFrame(f *expr.Frame) (int64, error) {
+	rep, err := ev.ec.PredictMissesFrame(f, ev.opt.CacheElems)
+	if err != nil {
+		return 0, err
+	}
+	return ev.reduceBoundFree(rep), nil
+}
+
+// reduceBoundFree folds a report with the precomputed per-component flags.
+// Detail is in a.Components order on both prediction paths, so the flag
+// slices index it directly.
+func (ev *evaluator) reduceBoundFree(rep *core.MissReport) int64 {
 	var total int64
-	for _, d := range rep.Detail {
-		c := d.Component
-		if c.SD.Base.IsInf() {
-			continue // compulsory misses are tile-independent
-		}
-		boundSD := c.SD.Base.HasAnyVar(ev.opt.UnknownBounds) ||
-			(c.SD.Slope != nil && c.SD.Slope.HasAnyVar(ev.opt.UnknownBounds))
-		if boundSD {
+	for i, d := range rep.Detail {
+		switch {
+		case ev.infSD[i]:
+			// compulsory misses are tile-independent
+		case ev.boundSD[i]:
 			total += d.Count // assumed miss: SD grows with the bounds
-		} else {
+		default:
 			total += d.Misses
 		}
 	}
-	return total, nil
+	return total
 }

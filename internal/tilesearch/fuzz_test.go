@@ -22,8 +22,8 @@ import (
 func FuzzAnalyzeNoPanic(f *testing.F) {
 	f.Add(int64(64), int64(8), int64(8), int64(8), int64(512), uint8(7))
 	f.Add(int64(100), int64(40), int64(10), int64(4), int64(8192), uint8(7)) // TCE-fusion ranks
-	f.Add(int64(32), int64(5), int64(3), int64(32), int64(1), uint8(0))     // non-dividing tiles
-	f.Add(int64(1), int64(1), int64(1), int64(1), int64(1<<40), uint8(3))   // degenerate bound, huge cache
+	f.Add(int64(32), int64(5), int64(3), int64(32), int64(1), uint8(0))      // non-dividing tiles
+	f.Add(int64(1), int64(1), int64(1), int64(1), int64(1<<40), uint8(3))    // degenerate bound, huge cache
 	f.Fuzz(func(t *testing.T, n, ti, tj, tk, cache int64, optBits uint8) {
 		// Clamp to keep a single case fast; sign and divisibility stay
 		// fuzzer-controlled.

@@ -20,6 +20,7 @@ var deterministicCounters = []string{
 	"evalcache.lookups",
 	"evalcache.hits",
 	"evalcache.misses",
+	"evalcache.frame_evals",
 }
 
 // TestSearchMetricsParallelismInvariant: running the same search at -j 1 and

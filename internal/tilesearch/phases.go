@@ -28,30 +28,47 @@ type Knee struct {
 
 // KneeAnalysis computes, for every distinct stack-distance expression of
 // the analysis, the crossing point along each tile dimension, holding the
-// other dimensions at the values in base.
+// other dimensions at the values in base. Each distance is compiled once
+// and the per-value inner loop mutates a single slot of a reused frame —
+// the loop used to build a fresh Env map per tile value.
 func KneeAnalysis(a *core.Analysis, base expr.Env, dims []Dim, cacheElems int64) ([]Knee, error) {
+	tab := a.SymTab()
+	f := tab.NewFrame()
 	var out []Knee
 	for _, sd := range a.StackDistances(nil) {
+		pBase := expr.Compile(sd.Base, tab)
+		var pSlope *expr.Program
+		if !sd.IsConst() {
+			pSlope = expr.Compile(sd.Slope, tab)
+		}
+		// The SD may not mention a dimension at all.
+		vars := map[string]bool{}
+		sd.Base.Vars(vars)
+		if sd.Slope != nil {
+			sd.Slope.Vars(vars)
+		}
 		for _, d := range dims {
 			k := Knee{SD: sd, Dim: d.Symbol}
-			// The SD may not mention this dimension at all.
-			vars := map[string]bool{}
-			sd.Base.Vars(vars)
-			if sd.Slope != nil {
-				sd.Slope.Vars(vars)
-			}
 			if !vars[d.Symbol] {
 				continue
 			}
+			// The surrogate free-variable bound maxSD used: the largest value
+			// in the environment. The tile value under sweep contributes too,
+			// so split off the max over the other bindings once.
+			maxOther := int64(1)
+			for kk, vv := range base {
+				if kk != d.Symbol && vv > maxOther {
+					maxOther = vv
+				}
+			}
+			slot := tab.Slot(d.Symbol)
+			f.Reset()
+			f.Bind(base)
 			lastFit := int64(0)
 			alwaysFit := true
 			for v := int64(1); v <= d.Max; v++ {
-				env := expr.Env{}
-				for kk, vv := range base {
-					env[kk] = vv
-				}
-				env[d.Symbol] = v
-				val, err := maxSD(sd, env)
+				f.Set(slot, v)
+				val, err := maxSDFrame(pBase, pSlope, f, maxOther, v)
 				if err != nil {
 					return nil, err
 				}
@@ -76,7 +93,8 @@ func KneeAnalysis(a *core.Analysis, base expr.Env, dims []Dim, cacheElems int64)
 }
 
 // maxSD evaluates the largest value a (possibly position-dependent) stack
-// distance takes under env.
+// distance takes under env: the tree-walking form, kept as the oracle the
+// knee tests verify claims against.
 func maxSD(sd core.LinForm, env expr.Env) (int64, error) {
 	base, err := sd.Base.Eval(env)
 	if err != nil {
@@ -96,6 +114,31 @@ func maxSD(sd core.LinForm, env expr.Env) (int64, error) {
 		if v > maxSym {
 			maxSym = v
 		}
+	}
+	if slope > 0 {
+		return base + slope*(maxSym-1), nil
+	}
+	return base, nil
+}
+
+// maxSDFrame is maxSD through compiled programs on a frame. maxOther and v
+// reconstruct the surrogate free-variable bound — the largest bound symbol —
+// without scanning an Env.
+func maxSDFrame(pBase, pSlope *expr.Program, f *expr.Frame, maxOther, v int64) (int64, error) {
+	base, err := pBase.Eval(f)
+	if err != nil {
+		return 0, err
+	}
+	if pSlope == nil {
+		return base, nil
+	}
+	slope, err := pSlope.Eval(f)
+	if err != nil {
+		return 0, err
+	}
+	maxSym := maxOther
+	if v > maxSym {
+		maxSym = v
 	}
 	if slope > 0 {
 		return base + slope*(maxSym-1), nil

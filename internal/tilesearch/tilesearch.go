@@ -60,6 +60,11 @@ type Options struct {
 	// 0 and 1 evaluate sequentially; negative values use GOMAXPROCS. The
 	// search result is byte-identical at every parallelism level.
 	Parallelism int
+	// TreeEval forces the pre-compilation scoring path: per-candidate Env
+	// maps and tree-walking expression evaluation instead of per-worker
+	// frames and compiled programs. Results are identical either way; the
+	// flag exists as the measured baseline for BENCH_eval.json.
+	TreeEval bool
 	// Context, when non-nil, cancels an in-flight search; Search and
 	// Exhaustive then return the context's error.
 	Context context.Context
@@ -235,7 +240,7 @@ func (ev *evaluator) frontier(coarse []Candidate) ([]Candidate, error) {
 				continue
 			}
 			probes.Inc()
-			bigger, err := ev.eval(nt2(cloneTiles(c.Tiles), d.Symbol, v))
+			bigger, err := ev.eval(nt2(cloneTiles(c.Tiles), d.Symbol, v), ev.seqFrame)
 			if err != nil {
 				return nil, err
 			}
@@ -297,12 +302,19 @@ func nt2(t map[string]int64, k string, v int64) map[string]int64 {
 	return t
 }
 
+// tileKey packs the assignment's tile values in dimension order into a
+// fixed-width binary string: the candidate-cache key. Dimension order is
+// fixed for a search, so the symbol names need not appear in the key (the
+// fmt-rendered form this replaces cost more than some candidate scores).
 func tileKey(t map[string]int64, dims []Dim) string {
-	parts := make([]string, len(dims))
-	for i, d := range dims {
-		parts[i] = fmt.Sprintf("%s=%d", d.Symbol, t[d.Symbol])
+	buf := make([]byte, 0, 8*len(dims))
+	for _, d := range dims {
+		v := t[d.Symbol]
+		buf = append(buf,
+			byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
 	}
-	return fmt.Sprint(parts)
+	return string(buf)
 }
 
 // String renders a candidate as (TI=64, TJ=16, ...).

@@ -1,0 +1,65 @@
+package tilesearch
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/testutil"
+)
+
+// TestSearchTreeEvalEquivalence: the compiled frame path and the legacy
+// tree-walking Env path (Options.TreeEval) must produce byte-identical
+// Results — best candidate, frontier, evaluation count, cache counters — on
+// both fixtures, sequentially and with a worker pool. This is the A/B
+// guarantee that lets BENCH_eval.json compare the two paths as equals.
+func TestSearchTreeEvalEquivalence(t *testing.T) {
+	fixtures := []struct {
+		name string
+		opt  Options
+	}{
+		{"matmul", Options{
+			Dims:       matmulDims(64),
+			CacheElems: 512,
+			BaseEnv:    expr.Env{"N": 64},
+			DivisorOf:  64,
+		}},
+		{"twoindex", Options{
+			Dims:       []Dim{{"TI", 256}, {"TJ", 256}, {"TM", 256}, {"TN", 256}},
+			CacheElems: 8192,
+			BaseEnv:    expr.Env{"NI": 256, "NJ": 256, "NM": 256, "NN": 256},
+			DivisorOf:  256,
+		}},
+		{"matmul-unknown-bounds", Options{
+			Dims:          matmulDims(64),
+			CacheElems:    512,
+			BaseEnv:       expr.Env{"N": 4096},
+			UnknownBounds: map[string]bool{"N": true},
+		}},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			a := testutil.AnalyzedMatmul(t)
+			if fx.name == "twoindex" {
+				a = testutil.AnalyzedTwoIndex(t)
+			}
+			for _, j := range []int{1, 8} {
+				frame := fx.opt
+				frame.Parallelism = j
+				got, err := Search(a, frame)
+				if err != nil {
+					t.Fatalf("frame path j=%d: %v", j, err)
+				}
+				tree := fx.opt
+				tree.Parallelism = j
+				tree.TreeEval = true
+				want, err := Search(a, tree)
+				if err != nil {
+					t.Fatalf("tree path j=%d: %v", j, err)
+				}
+				if g, w := marshal(t, got), marshal(t, want); g != w {
+					t.Errorf("j=%d: frame path result differs from tree path\nframe: %s\ntree:  %s", j, g, w)
+				}
+			}
+		})
+	}
+}

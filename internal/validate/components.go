@@ -80,14 +80,18 @@ func CheckComponents(a *core.Analysis, env expr.Env) ([]ComponentCheck, error) {
 	}
 	p.RunBlocks(trace.DefaultBlockSize, sim.AccessBlock)
 
-	// Predicted distributions from the components.
+	// Predicted distributions from the components, evaluated through
+	// compiled programs on one frame: the per-position spreading loop used
+	// to re-walk the Base and Slope trees for every position.
+	tab := a.SymTab()
+	f := tab.FrameOf(env)
 	predDist := map[string]SiteDistribution{}
 	for _, c := range a.Components {
 		key := c.Site.Key()
 		if predDist[key] == nil {
 			predDist[key] = SiteDistribution{}
 		}
-		count, err := c.Count.Eval(env)
+		count, err := expr.Compile(c.Count, tab).Eval(f)
 		if err != nil {
 			return nil, err
 		}
@@ -98,16 +102,21 @@ func CheckComponents(a *core.Analysis, env expr.Env) ([]ComponentCheck, error) {
 			predDist[key][-1] += count
 			continue
 		}
+		base, err := expr.Compile(c.SD.Base, tab).Eval(f)
+		if err != nil {
+			return nil, err
+		}
 		if c.SD.IsConst() {
-			sd, err := c.SD.Base.Eval(env)
-			if err != nil {
-				return nil, err
-			}
-			predDist[key][sd] += count
+			predDist[key][base] += count
 			continue
 		}
 		// Variable SD: spread the count uniformly over the position range.
-		rng, err := c.FreeRange.Eval(env)
+		// Base and Slope are position-independent, so sd(a) = base + slope·a.
+		slope, err := expr.Compile(c.SD.Slope, tab).Eval(f)
+		if err != nil {
+			return nil, err
+		}
+		rng, err := expr.Compile(c.FreeRange, tab).Eval(f)
 		if err != nil {
 			return nil, err
 		}
@@ -116,15 +125,10 @@ func CheckComponents(a *core.Analysis, env expr.Env) ([]ComponentCheck, error) {
 		}
 		per := count / rng
 		for aPos := int64(0); aPos < rng; aPos++ {
-			sd, err := c.SD.Eval(env, aPos)
-			if err != nil {
-				return nil, err
-			}
-			predDist[key][sd] += per
+			predDist[key][base+slope*aPos] += per
 		}
 		if rem := count - per*rng; rem > 0 {
-			sd, _ := c.SD.Eval(env, 0)
-			predDist[key][sd] += rem
+			predDist[key][base] += rem
 		}
 	}
 

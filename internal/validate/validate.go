@@ -108,9 +108,12 @@ func runOne(a *core.Analysis, env expr.Env, watches []int64, m *obs.Metrics, opt
 	}
 	sw.Stop()
 
+	// Bind the environment into one frame and reuse it across the capacity
+	// sweep: the per-capacity predictions share every expression evaluation.
+	f := a.SymTab().FrameOf(env)
 	var out []Comparison
 	for wi, cap := range watches {
-		rep, err := a.PredictMisses(env, cap)
+		rep, err := a.PredictMissesFrame(f, cap)
 		if err != nil {
 			return nil, err
 		}
