@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet race fuzz-smoke bench bench-sim bench-eval cover golden
+.PHONY: all build test check vet race fuzz-smoke bench bench-sim bench-eval bench-serve serve-check cover golden
 
 all: build
 
@@ -45,6 +45,17 @@ bench-sim:
 bench-eval:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/evalbench
 	$(GO) run ./cmd/evalbench -o BENCH_eval.json
+
+# Serving-layer load test: 32 closed-loop clients against an in-process
+# server, every response verified byte-for-byte against the direct library
+# call, throughput and latency percentiles written to BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/loadgen -clients 32 -duration 2s -o BENCH_serve.json
+
+# End-to-end analysisd lifecycle check: start, readiness, one request per
+# endpoint, SIGTERM, clean drain.
+serve-check:
+	sh scripts/serve_check.sh
 
 # Golden-file tests for the cmd tools' text output and RunReport JSON.
 # Regenerate with: go test ./cmd/... -update

@@ -1,0 +1,99 @@
+// Command analysisd serves the cache model over HTTP: the four /v1
+// endpoints of internal/service (analyze, predict, tilesearch, simulate)
+// plus /healthz, with admission control, request coalescing and a graceful
+// SIGTERM drain. See README's Serving section for the API.
+//
+// Usage:
+//
+//	analysisd [-addr :8097] [-debug-addr :8098] [-workers N] [-queue N]
+//	          [-cache-entries N] [-timeout 30s] [-report run.json]
+//
+// The process prints one "analysisd listening on ADDR" line once the
+// listener is bound (scripts wait for it), serves until SIGINT/SIGTERM,
+// then drains: new requests get 503, in-flight ones complete, the worker
+// queue runs dry, and — when -report is given — a RunReport with the full
+// service metrics is written before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8097", "listen address for the API")
+		debugAddr    = flag.String("debug-addr", "", "listen address for the expvar/pprof debug server (off when empty)")
+		workers      = flag.Int("workers", 0, "compute workers (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "admission queue depth (full queue answers 429)")
+		cacheEntries = flag.Int("cache-entries", 256, "response cache capacity")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-request compute/wait timeout")
+		drainWait    = flag.Duration("drain-timeout", service.DrainTimeout, "bound on the shutdown drain")
+		report       = flag.String("report", "", "write a RunReport JSON on exit")
+	)
+	flag.Parse()
+	if err := run(*addr, *debugAddr, *workers, *queue, *cacheEntries, *timeout, *drainWait, *report); err != nil {
+		fmt.Fprintln(os.Stderr, "analysisd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, debugAddr string, workers, queue, cacheEntries int, timeout, drainWait time.Duration, report string) error {
+	m := obs.New()
+	svc := service.New(service.Config{
+		Workers:        workers,
+		QueueDepth:     queue,
+		CacheEntries:   cacheEntries,
+		RequestTimeout: timeout,
+		Obs:            m,
+	})
+	sv, err := service.Serve(addr, svc)
+	if err != nil {
+		return err
+	}
+
+	var debug *obs.DebugServer
+	if debugAddr != "" {
+		debug, err = obs.StartDebugServer(debugAddr, m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("analysisd debug server on %s\n", debug.Addr)
+	}
+	fmt.Printf("analysisd listening on %s\n", sv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("analysisd: %s, draining\n", s)
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainWait)
+	defer cancel()
+	drainErr := sv.Drain(ctx)
+	if debug != nil {
+		if err := debug.Shutdown(ctx); err != nil && drainErr == nil {
+			drainErr = err
+		}
+	}
+	if report != "" {
+		rep := obs.NewRunReport("analysisd", os.Args[1:])
+		rep.AddMetrics(m)
+		rep.Finish()
+		if err := rep.WriteFile(report); err != nil && drainErr == nil {
+			drainErr = err
+		}
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	fmt.Println("analysisd: drained cleanly")
+	return nil
+}

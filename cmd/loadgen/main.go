@@ -1,0 +1,205 @@
+// Command loadgen load-tests the serving layer and writes the BENCH_serve
+// artifact committed at the repository root. By default it starts an
+// in-process analysisd-equivalent server on a loopback port, drives it
+// with internal/loadtest's closed-loop clients, and verifies every
+// response byte-for-byte against the direct library computation; -addr
+// points it at an already-running analysisd instead.
+//
+// Two scenarios are measured:
+//
+//   - predict-hot: one predict request (tiled matmul n=64) repeated by
+//     every client — after the first computation the response is served
+//     from the coalescing cache, so this measures the serving overhead
+//     ceiling (the ≥10k requests/sec acceptance bar lives here);
+//   - mixed: a four-endpoint script (two predicts, an analyze, a small
+//     simulate) with distinct cache keys, the cache-churn picture.
+//
+// Usage:
+//
+//	loadgen [-clients 32] [-duration 2s] [-o BENCH_serve.json] [-addr URL]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/loadtest"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// Scenario is one measured configuration of the artifact.
+type Scenario struct {
+	Script []string        `json:"script"` // endpoint paths, in order
+	Result loadtest.Result `json:"result"`
+}
+
+// Artifact is the BENCH_serve.json schema.
+type Artifact struct {
+	Generated string `json:"generated"`
+	Host      struct {
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		NumCPU     int    `json:"num_cpu"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		GoVersion  string `json:"go_version"`
+	} `json:"host"`
+	Config struct {
+		Clients     int     `json:"clients"`
+		DurationSec float64 `json:"duration_sec"`
+		Workers     int     `json:"workers"`
+		QueueDepth  int     `json:"queue_depth"`
+		InProcess   bool    `json:"in_process"`
+	} `json:"config"`
+	PredictHot Scenario `json:"predict_hot"`
+	Mixed      Scenario `json:"mixed"`
+	// Server is the served process's cache/coalescing counters after the
+	// run (in-process mode only): the deterministic ones — lookups, hits,
+	// misses — plus the timing-dependent coalesced count.
+	Server map[string]int64 `json:"server,omitempty"`
+}
+
+var scenarios = struct{ predictHot, mixed []struct{ path, body string } }{
+	predictHot: []struct{ path, body string }{
+		{"/v1/predict", `{"kernel":"matmul","n":64,"tiles":[8,8,8],"cacheKB":64}`},
+	},
+	mixed: []struct{ path, body string }{
+		{"/v1/predict", `{"kernel":"matmul","n":64,"tiles":[8,8,8],"cacheKB":64}`},
+		{"/v1/predict", `{"kernel":"matmul","n":64,"tiles":[16,16,16],"cacheKB":64}`},
+		{"/v1/analyze", `{"kernel":"matmul","n":64,"tiles":[8,8,8]}`},
+		{"/v1/simulate", `{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4]}`},
+	},
+}
+
+func main() {
+	var (
+		out      = flag.String("o", "BENCH_serve.json", "output artifact path")
+		addr     = flag.String("addr", "", "base URL of a running analysisd (empty = in-process server)")
+		clients  = flag.Int("clients", 32, "concurrent closed-loop clients")
+		duration = flag.Duration("duration", 2*time.Second, "wall-clock duration per scenario")
+		workers  = flag.Int("workers", 0, "in-process server workers (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 256, "in-process server queue depth")
+	)
+	flag.Parse()
+	if err := run(*out, *addr, *clients, *duration, *workers, *queue); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, addr string, clients int, duration time.Duration, workers, queue int) error {
+	var art Artifact
+	art.Generated = time.Now().UTC().Format(time.RFC3339)
+	art.Host.GOOS = runtime.GOOS
+	art.Host.GOARCH = runtime.GOARCH
+	art.Host.NumCPU = runtime.NumCPU()
+	art.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	art.Host.GoVersion = runtime.Version()
+	art.Config.Clients = clients
+	art.Config.DurationSec = duration.Seconds()
+	art.Config.Workers = workers
+	art.Config.QueueDepth = queue
+	art.Config.InProcess = addr == ""
+
+	// The expected bytes always come from a direct library call on a local
+	// Service — that is the verification oracle even when load goes to a
+	// remote server.
+	m := obs.New()
+	svc := service.New(service.Config{Workers: workers, QueueDepth: queue, Obs: m})
+	base := addr
+	var sv *service.Server
+	if addr == "" {
+		var err error
+		sv, err = service.Serve("127.0.0.1:0", svc)
+		if err != nil {
+			return err
+		}
+		base = "http://" + sv.Addr()
+		fmt.Printf("loadgen: in-process server on %s\n", sv.Addr())
+	}
+
+	buildScript := func(reqs []struct{ path, body string }) ([]loadtest.Request, []string, error) {
+		var script []loadtest.Request
+		var paths []string
+		for _, r := range reqs {
+			want, err := svc.Compute(context.Background(), r.path, []byte(r.body))
+			if err != nil {
+				return nil, nil, fmt.Errorf("direct compute %s: %w", r.path, err)
+			}
+			script = append(script, loadtest.Request{Path: r.path, Body: []byte(r.body), Want: want})
+			paths = append(paths, r.path)
+		}
+		return script, paths, nil
+	}
+
+	runScenario := func(name string, reqs []struct{ path, body string }) (Scenario, error) {
+		script, paths, err := buildScript(reqs)
+		if err != nil {
+			return Scenario{}, err
+		}
+		res, err := loadtest.Options{
+			BaseURL:  base,
+			Clients:  clients,
+			Duration: duration,
+			Script:   script,
+		}.Run()
+		if err != nil {
+			return Scenario{}, err
+		}
+		fmt.Printf("loadgen: %-11s %8.0f ok-req/s  p50 %s  p99 %s  (%d requests, %d verified, %d mismatches, %d errors)\n",
+			name, res.Throughput,
+			time.Duration(res.Latency.P50Nanos), time.Duration(res.Latency.P99Nanos),
+			res.Requests, res.Verified, res.Mismatches, res.Errors)
+		if res.Mismatches > 0 {
+			return Scenario{}, fmt.Errorf("%s: %d responses differed from the direct library call", name, res.Mismatches)
+		}
+		if res.Errors > 0 {
+			return Scenario{}, fmt.Errorf("%s: %d transport errors", name, res.Errors)
+		}
+		return Scenario{Script: paths, Result: *res}, nil
+	}
+
+	var err error
+	if art.PredictHot, err = runScenario("predict-hot", scenarios.predictHot); err != nil {
+		return err
+	}
+	if art.Mixed, err = runScenario("mixed", scenarios.mixed); err != nil {
+		return err
+	}
+
+	if sv != nil {
+		c := m.Counters()
+		art.Server = map[string]int64{}
+		for _, name := range []string{
+			"service.requests",
+			"service.cache.lookups", "service.cache.hits", "service.cache.misses",
+			"service.cache.coalesced", "service.cache.evictions",
+			"service.analyses.misses",
+		} {
+			art.Server[name] = c[name]
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), service.DrainTimeout)
+		defer cancel()
+		if err := sv.Drain(ctx); err != nil {
+			return err
+		}
+	} else {
+		svc.Close()
+	}
+
+	data, err := json.MarshalIndent(&art, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: wrote %s\n", out)
+	return nil
+}

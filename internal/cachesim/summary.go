@@ -1,0 +1,49 @@
+package cachesim
+
+// SiteStatsJSON is the serializable per-site view of a simulation.
+type SiteStatsJSON struct {
+	Site       string  `json:"site"`
+	Accesses   int64   `json:"accesses"`
+	FirstTouch int64   `json:"firstTouch"`
+	Misses     []int64 `json:"misses"` // per watched capacity
+}
+
+// ResultsJSON is the serializable form of Results: the whole-trace totals
+// plus per-watched-capacity miss counts. The serving layer returns it from
+// /v1/simulate; every field is deterministic for a deterministic trace.
+type ResultsJSON struct {
+	Accesses int64   `json:"accesses"`
+	Distinct int64   `json:"distinct"` // distinct addresses = compulsory misses
+	Watches  []int64 `json:"watches"`
+	Misses   []int64 `json:"misses"`
+	// PerSite is emitted only when the caller supplies site labels; order
+	// follows the site ids of the simulation.
+	PerSite []SiteStatsJSON `json:"perSite,omitempty"`
+}
+
+// JSON converts the results into their serializable form. siteLabels, when
+// non-nil, must be indexed by site id and enables the per-site breakdown.
+func (r Results) JSON(siteLabels []string) ResultsJSON {
+	out := ResultsJSON{
+		Accesses: r.Accesses,
+		Distinct: r.Distinct,
+		Watches:  append([]int64(nil), r.Watches...),
+		Misses:   append([]int64(nil), r.Misses...),
+	}
+	if siteLabels != nil {
+		out.PerSite = make([]SiteStatsJSON, 0, len(r.PerSite))
+		for i, s := range r.PerSite {
+			label := ""
+			if i < len(siteLabels) {
+				label = siteLabels[i]
+			}
+			out.PerSite = append(out.PerSite, SiteStatsJSON{
+				Site:       label,
+				Accesses:   s.Accesses,
+				FirstTouch: s.FirstTouch,
+				Misses:     append([]int64(nil), s.Misses...),
+			})
+		}
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/expr"
@@ -24,6 +25,11 @@ type Analysis struct {
 	// component expression flattened into expr.Programs over one
 	// analysis-wide SymTab. Built at the end of AnalyzeWithOptions.
 	ca *compiledAnalysis
+	// framePool recycles frames over ca.tab for request-scoped evaluation
+	// (GetFrame/PutFrame). Long-lived workers should keep their own frame
+	// from NewFrame instead; the pool exists for callers whose frame
+	// lifetime is one short operation, like one served prediction.
+	framePool sync.Pool
 }
 
 // Options toggles the model's span-cost refinements, for ablation studies.

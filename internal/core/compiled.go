@@ -121,6 +121,29 @@ func (a *Analysis) SymTab() *expr.SymTab { return a.ca.tab }
 // single-goroutine; give each worker its own and reuse it across candidates.
 func (a *Analysis) NewFrame() *expr.Frame { return a.ca.tab.NewFrame() }
 
+// GetFrame returns an empty frame over the analysis symbol table, recycled
+// through a pool. The caller owns the frame exclusively until PutFrame; the
+// serving layer evaluates each request on a pooled frame so the per-request
+// steady state allocates no frame storage. Frames remain single-goroutine
+// scratch between Get and Put.
+func (a *Analysis) GetFrame() *expr.Frame {
+	if f, ok := a.framePool.Get().(*expr.Frame); ok {
+		return f
+	}
+	return a.NewFrame()
+}
+
+// PutFrame resets the frame and returns it to the pool. The frame must have
+// come from GetFrame (or NewFrame over the same analysis) and must not be
+// used after the call.
+func (a *Analysis) PutFrame(f *expr.Frame) {
+	if f == nil {
+		return
+	}
+	f.Reset()
+	a.framePool.Put(f)
+}
+
 // validateFrame is loopir.Nest.ValidateEnv over a frame: same checks, same
 // error messages, same order, but evaluated through the compiled trip and
 // extent programs.

@@ -79,13 +79,20 @@ func componentJSON(c *Component) ComponentJSON {
 	return out
 }
 
-// InventoryJSON serializes the symbolic component inventory.
-func (a *Analysis) InventoryJSON() ([]byte, error) {
+// ComponentsJSON returns the serializable form of every component, in
+// analysis order. The serving layer embeds this in /v1/analyze responses;
+// InventoryJSON is the same data pre-marshalled.
+func (a *Analysis) ComponentsJSON() []ComponentJSON {
 	out := make([]ComponentJSON, len(a.Components))
 	for i, c := range a.Components {
 		out[i] = componentJSON(c)
 	}
-	return json.MarshalIndent(out, "", "  ")
+	return out
+}
+
+// InventoryJSON serializes the symbolic component inventory.
+func (a *Analysis) InventoryJSON() ([]byte, error) {
+	return json.MarshalIndent(a.ComponentsJSON(), "", "  ")
 }
 
 // ReportToJSON serializes a concrete miss report together with its

@@ -1,0 +1,171 @@
+// Package loadtest is the closed-loop load harness for the serving layer:
+// N client goroutines, each issuing the request script back-to-back (one
+// outstanding request per client — throughput is determined by service
+// latency, not an open-loop arrival rate), verifying every successful
+// response byte-for-byte against the expected bytes derived from direct
+// library calls, and reporting throughput plus latency percentiles.
+//
+// cmd/loadgen drives it to produce BENCH_serve.json; the CI smoke runs it
+// for one second against an in-process server.
+package loadtest
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Request is one scripted call. Want, when non-nil, is the expected
+// response body of a 200; any deviation counts as a mismatch.
+type Request struct {
+	Path string
+	Body []byte
+	Want []byte
+}
+
+// Options configures a run. Exactly one of Rounds and Duration selects the
+// stopping rule: Rounds is deterministic (every client walks the script
+// that many times), Duration is wall-clock (the bench mode).
+type Options struct {
+	BaseURL  string
+	Clients  int
+	Rounds   int
+	Duration time.Duration
+	Script   []Request
+}
+
+// Result aggregates a run.
+type Result struct {
+	Requests   int64          `json:"requests"`
+	Verified   int64          `json:"verified"`   // 200s checked against Want
+	Mismatches int64          `json:"mismatches"` // 200s whose bytes differed
+	Errors     int64          `json:"errors"`     // transport failures
+	Status     map[int]int64  `json:"status"`     // responses by HTTP status
+	Elapsed    time.Duration  `json:"-"`
+	ElapsedSec float64        `json:"elapsed_sec"`
+	Throughput float64        `json:"requests_per_sec"` // 200s per second
+	Latency    LatencySummary `json:"latency"`
+}
+
+// LatencySummary reports request-latency percentiles in nanoseconds,
+// measured per request across all clients.
+type LatencySummary struct {
+	P50Nanos int64 `json:"p50_nanos"`
+	P90Nanos int64 `json:"p90_nanos"`
+	P99Nanos int64 `json:"p99_nanos"`
+	MaxNanos int64 `json:"max_nanos"`
+	Samples  int64 `json:"samples"`
+}
+
+// Run executes the load test and aggregates the per-client observations.
+func (o Options) Run() (*Result, error) {
+	if o.Clients <= 0 {
+		return nil, fmt.Errorf("loadtest: need at least one client")
+	}
+	if len(o.Script) == 0 {
+		return nil, fmt.Errorf("loadtest: empty script")
+	}
+	if (o.Rounds > 0) == (o.Duration > 0) {
+		return nil, fmt.Errorf("loadtest: set exactly one of Rounds and Duration")
+	}
+
+	type clientStats struct {
+		requests, verified, mismatches, errors int64
+		status                                 map[int]int64
+		latencies                              []time.Duration
+	}
+	stats := make([]clientStats, o.Clients)
+	var stop atomic.Bool
+	if o.Duration > 0 {
+		timer := time.AfterFunc(o.Duration, func() { stop.Store(true) })
+		defer timer.Stop()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < o.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			st := &stats[c]
+			st.status = map[int]int64{}
+			client := &http.Client{Timeout: 60 * time.Second}
+			// Stagger each client's starting offset so concurrent clients
+			// exercise the whole script at once instead of marching in
+			// lockstep.
+			for i := c; ; i++ {
+				if o.Duration > 0 && stop.Load() {
+					return
+				}
+				if o.Rounds > 0 && i-c >= o.Rounds*len(o.Script) {
+					return
+				}
+				req := o.Script[i%len(o.Script)]
+				t0 := time.Now()
+				resp, err := client.Post(o.BaseURL+req.Path, "application/json", strings.NewReader(string(req.Body)))
+				if err != nil {
+					st.errors++
+					continue
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					st.errors++
+					continue
+				}
+				st.latencies = append(st.latencies, time.Since(t0))
+				st.requests++
+				st.status[resp.StatusCode]++
+				if resp.StatusCode == http.StatusOK && req.Want != nil {
+					st.verified++
+					if !bytes.Equal(body, req.Want) {
+						st.mismatches++
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &Result{Status: map[int]int64{}, Elapsed: elapsed, ElapsedSec: elapsed.Seconds()}
+	var all []time.Duration
+	for c := range stats {
+		st := &stats[c]
+		res.Requests += st.requests
+		res.Verified += st.verified
+		res.Mismatches += st.mismatches
+		res.Errors += st.errors
+		for code, n := range st.status {
+			res.Status[code] += n
+		}
+		all = append(all, st.latencies...)
+	}
+	res.Throughput = float64(res.Status[http.StatusOK]) / elapsed.Seconds()
+	res.Latency = summarize(all)
+	return res, nil
+}
+
+func summarize(lat []time.Duration) LatencySummary {
+	if len(lat) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pick := func(q float64) int64 {
+		i := int(q * float64(len(lat)-1))
+		return int64(lat[i])
+	}
+	return LatencySummary{
+		P50Nanos: pick(0.50),
+		P90Nanos: pick(0.90),
+		P99Nanos: pick(0.99),
+		MaxNanos: int64(lat[len(lat)-1]),
+		Samples:  int64(len(lat)),
+	}
+}

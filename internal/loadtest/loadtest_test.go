@@ -1,0 +1,90 @@
+package loadtest
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// TestClosedLoopByteIdentical is the serving acceptance criterion run as a
+// unit test: 32 concurrent closed-loop clients against a live server, every
+// 200 verified byte-for-byte against the direct library computation.
+func TestClosedLoopByteIdentical(t *testing.T) {
+	m := obs.New()
+	svc := service.New(service.Config{Obs: m, QueueDepth: 128})
+	sv, err := service.Serve("127.0.0.1:0", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := sv.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+
+	bodies := []struct{ path, body string }{
+		{"/v1/predict", `{"kernel":"matmul","n":64,"tiles":[8,8,8],"cacheKB":64}`},
+		{"/v1/predict", `{"kernel":"matmul","n":64,"tiles":[16,16,16],"cacheKB":64}`},
+		{"/v1/analyze", `{"kernel":"matmul","n":64,"tiles":[8,8,8]}`},
+		{"/v1/simulate", `{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4]}`},
+	}
+	var script []Request
+	for _, b := range bodies {
+		want, err := svc.Compute(context.Background(), b.path, []byte(b.body))
+		if err != nil {
+			t.Fatalf("direct compute %s: %v", b.path, err)
+		}
+		script = append(script, Request{Path: b.path, Body: []byte(b.body), Want: want})
+	}
+
+	const clients, rounds = 32, 5
+	res, err := Options{
+		BaseURL: "http://" + sv.Addr(),
+		Clients: clients,
+		Rounds:  rounds,
+		Script:  script,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantReqs := int64(clients * rounds * len(script))
+	if res.Requests+res.Errors != wantReqs {
+		t.Errorf("requests %d + errors %d, want %d total", res.Requests, res.Errors, wantReqs)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d transport errors", res.Errors)
+	}
+	if res.Status[http.StatusOK] != wantReqs {
+		t.Errorf("%d OKs, want %d (status map %v)", res.Status[http.StatusOK], wantReqs, res.Status)
+	}
+	if res.Mismatches != 0 {
+		t.Fatalf("%d responses differed from the direct library call", res.Mismatches)
+	}
+	if res.Verified != wantReqs {
+		t.Errorf("verified %d responses, want %d", res.Verified, wantReqs)
+	}
+	if res.Latency.Samples != wantReqs || res.Latency.P50Nanos <= 0 || res.Latency.P99Nanos < res.Latency.P50Nanos {
+		t.Errorf("implausible latency summary %+v", res.Latency)
+	}
+}
+
+// TestOptionsValidation pins the stopping-rule contract.
+func TestOptionsValidation(t *testing.T) {
+	script := []Request{{Path: "/healthz"}}
+	for _, o := range []Options{
+		{Clients: 0, Rounds: 1, Script: script},
+		{Clients: 1, Script: script},
+		{Clients: 1, Rounds: 1, Duration: time.Second, Script: script},
+		{Clients: 1, Rounds: 1},
+	} {
+		if _, err := o.Run(); err == nil {
+			t.Errorf("Options %+v: want error", o)
+		}
+	}
+}

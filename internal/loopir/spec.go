@@ -1,0 +1,150 @@
+package loopir
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// Spec is the wire form of an analyzable problem: a loop nest in the
+// textual format of parse.go plus concrete symbol bindings. It is the
+// request vocabulary of the serving layer (internal/service): clients POST
+// a Spec, the service canonicalizes it, and the canonical form keys the
+// response cache so that syntactically different but equivalent requests
+// coalesce onto one computation.
+type Spec struct {
+	// Nest is the nest source in the textual format accepted by Parse.
+	Nest string `json:"nest"`
+	// Env binds the nest's symbols (loop bounds, tile sizes) to values.
+	Env map[string]int64 `json:"env,omitempty"`
+}
+
+// DecodeSpec parses the JSON encoding of a Spec and its nest text. The
+// returned nest is the parsed (but not canonicalized) form.
+func DecodeSpec(data []byte) (*Spec, *Nest, error) {
+	var s Spec
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, nil, fmt.Errorf("loopir: decode spec: %w", err)
+	}
+	if strings.TrimSpace(s.Nest) == "" {
+		return nil, nil, fmt.Errorf("loopir: spec has empty nest source")
+	}
+	nest, err := Parse(s.Nest)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &s, nest, nil
+}
+
+// Canonicalize returns the canonical form of the spec together with the
+// parsed nest:
+//
+//   - the nest source is re-rendered by Unparse, which sorts array
+//     declarations by name, prints every expression in its canonical form,
+//     normalizes layout and drops comments;
+//   - the environment is restricted to the symbols the nest actually
+//     mentions (extra bindings cannot change any result, so they must not
+//     differentiate cache keys).
+//
+// Canonicalization is a fixed point: canonicalizing a canonical spec
+// reproduces it byte-for-byte (FuzzNestSpecJSONRoundTrip pins this), and
+// two specs describing the same nest and relevant bindings — regardless of
+// array declaration order, whitespace, comments, or env key order —
+// canonicalize identically.
+func (s *Spec) Canonicalize() (*Spec, *Nest, error) {
+	nest, err := Parse(s.Nest)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := &Spec{Nest: Unparse(nest)}
+	if len(s.Env) > 0 {
+		names := nest.SymbolNames()
+		for _, name := range names {
+			if v, ok := s.Env[name]; ok {
+				if out.Env == nil {
+					out.Env = map[string]int64{}
+				}
+				out.Env[name] = v
+			}
+		}
+	}
+	return out, nest, nil
+}
+
+// Encode renders the spec as deterministic JSON: encoding/json sorts the
+// env map keys, so equal specs encode to equal bytes.
+func (s *Spec) Encode() ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// CanonicalKey canonicalizes the spec and packs it into a stable string
+// key: the canonical nest text, a NUL separator, then the relevant
+// bindings as sorted "name=value" pairs. Two specs produce the same key
+// exactly when they canonicalize identically, so the key is insensitive to
+// array declaration order, env ordering, whitespace and comments.
+func (s *Spec) CanonicalKey() (string, error) {
+	c, _, err := s.Canonicalize()
+	if err != nil {
+		return "", err
+	}
+	return c.packKey(), nil
+}
+
+// Key renders the spec's key without re-canonicalizing. It is only
+// meaningful on a spec that is already canonical (the result of
+// Canonicalize or SpecOf); the serving layer calls it on resolved requests
+// so the per-request hot path parses the nest once, not twice. For an
+// arbitrary spec use CanonicalKey.
+func (c *Spec) Key() string { return c.packKey() }
+
+// packKey renders an already-canonical spec's key.
+func (c *Spec) packKey() string {
+	names := make([]string, 0, len(c.Env))
+	for name := range c.Env {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(c.Nest)
+	b.WriteByte(0)
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(name)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatInt(c.Env[name], 10))
+	}
+	return b.String()
+}
+
+// ExprEnv converts the spec's bindings into an expr.Env.
+func (s *Spec) ExprEnv() expr.Env {
+	env := expr.Env{}
+	for k, v := range s.Env {
+		env[k] = v
+	}
+	return env
+}
+
+// SpecOf renders a nest and environment as a canonical Spec: the inverse
+// boundary of DecodeSpec for callers that already hold a parsed nest (the
+// load generator derives its expected responses this way).
+func SpecOf(nest *Nest, env expr.Env) *Spec {
+	s := &Spec{Nest: Unparse(nest)}
+	if len(env) > 0 {
+		s.Env = map[string]int64{}
+		for _, name := range nest.SymbolNames() {
+			if v, ok := env[name]; ok {
+				s.Env[name] = v
+			}
+		}
+	}
+	return s
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -61,10 +62,29 @@ func StartDebugServer(addr string, m *Metrics) (*DebugServer, error) {
 	return ds, nil
 }
 
-// Close shuts the server down.
+// Close shuts the server down immediately, dropping in-flight requests.
 func (ds *DebugServer) Close() error {
 	if ds == nil {
 		return nil
 	}
 	return ds.srv.Close()
+}
+
+// Shutdown drains the server gracefully: the listener stops accepting, any
+// in-flight /metrics or pprof request finishes, and the call returns when
+// the server is idle or the context expires (in which case the remaining
+// requests are dropped, as Close would). Nil-safe, like every obs entry
+// point, so callers can drain an optional debug server unconditionally —
+// analysisd's SIGTERM path relies on this.
+func (ds *DebugServer) Shutdown(ctx context.Context) error {
+	if ds == nil {
+		return nil
+	}
+	if err := ds.srv.Shutdown(ctx); err != nil {
+		// The deadline expired with requests still in flight; fall back to
+		// an immediate close so the listener is freed regardless.
+		_ = ds.srv.Close()
+		return err
+	}
+	return nil
 }

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestDebugServerShutdown: a graceful shutdown stops the listener, returns
+// nil when the server is idle, and is nil-safe.
+func TestDebugServerShutdown(t *testing.T) {
+	m := New()
+	ds, err := StartDebugServer("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body, err := httpGet("http://" + ds.Addr + "/metrics"); err != nil || body == "" {
+		t.Fatalf("pre-shutdown GET failed: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ds.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The listener must be released: a fresh dial fails.
+	if conn, err := net.DialTimeout("tcp", ds.Addr, 200*time.Millisecond); err == nil {
+		conn.Close()
+		t.Error("listener still accepting after Shutdown")
+	}
+	// Second shutdown and nil receiver are both harmless.
+	if err := ds.Shutdown(ctx); err != nil {
+		t.Errorf("second shutdown: %v", err)
+	}
+	if err := (*DebugServer)(nil).Shutdown(ctx); err != nil {
+		t.Errorf("nil server shutdown: %v", err)
+	}
+}

@@ -1,0 +1,67 @@
+package service
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// workPool is the admission-control half of the service: a fixed set of
+// workers draining a bounded task queue. Submission never blocks — when the
+// queue is full the request is rejected immediately (the handler answers
+// 429) instead of queueing unbounded work behind a slow client. The queue
+// bound is therefore the service's entire overload policy: latency under
+// load is capped at roughly queueDepth/workers compute slots.
+type workPool struct {
+	mu     sync.RWMutex // guards the closed/send race on tasks
+	tasks  chan func()
+	closed bool
+	wg     sync.WaitGroup
+	depth  *obs.Gauge // "service.queue.depth": tasks accepted but not started
+}
+
+func newWorkPool(workers, queueDepth int, depth *obs.Gauge) *workPool {
+	p := &workPool{tasks: make(chan func(), queueDepth), depth: depth}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				p.depth.Add(-1)
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// trySubmit enqueues fn if the queue has room, reporting whether it was
+// accepted. A false return is the overload signal; after close it is the
+// only answer.
+func (p *workPool) trySubmit(fn func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.tasks <- fn:
+		p.depth.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// close stops admission, runs every already-accepted task to completion,
+// and waits for the workers to exit. Part of the drain path: the HTTP
+// server is shut down first, so no handler can be mid-trySubmit here.
+func (p *workPool) close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,467 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/cachesim"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/loopir"
+	"repro/internal/obs"
+	"repro/internal/tilesearch"
+	"repro/internal/trace"
+)
+
+// Sentinel errors the HTTP layer maps to status codes. Everything else a
+// compute function returns is a client problem (400).
+var (
+	// ErrOverload is returned when the admission queue is full (429).
+	ErrOverload = errors.New("service: overloaded, queue full")
+	// errBadRequest wraps malformed-request errors explicitly; bare
+	// compute errors are treated the same way.
+	errBadRequest = errors.New("bad request")
+)
+
+// NestRequest is the problem-selection half of every request body: either
+// a named kernel from the experiment suite (kernel/n/tiles, with env
+// overlaying the generated bindings) or an inline nest in the textual
+// format of loopir.Parse (nest/env). Exactly one of the two forms must be
+// used.
+type NestRequest struct {
+	Kernel string           `json:"kernel,omitempty"`
+	N      int64            `json:"n,omitempty"`
+	Tiles  []int64          `json:"tiles,omitempty"`
+	Nest   string           `json:"nest,omitempty"`
+	Env    map[string]int64 `json:"env,omitempty"`
+}
+
+// resolve turns a NestRequest into a canonical spec. Canonicalization is
+// what makes request keys insensitive to array order, env order,
+// whitespace, comments and irrelevant bindings.
+func (nr *NestRequest) resolve() (*loopir.Spec, error) {
+	switch {
+	case nr.Nest != "" && nr.Kernel != "":
+		return nil, fmt.Errorf("%w: request has both nest and kernel; use one", errBadRequest)
+	case nr.Nest != "":
+		spec := &loopir.Spec{Nest: nr.Nest, Env: nr.Env}
+		c, _, err := spec.Canonicalize()
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	case nr.Kernel != "":
+		if nr.N <= 0 {
+			return nil, fmt.Errorf("%w: kernel request needs n >= 1", errBadRequest)
+		}
+		nest, env, err := experiments.BuildKernel(nr.Kernel, nr.N, nr.Tiles)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range nr.Env {
+			env[k] = v
+		}
+		return loopir.SpecOf(nest, env), nil
+	}
+	return nil, fmt.Errorf("%w: request needs a nest or a kernel", errBadRequest)
+}
+
+// decodeInto strictly decodes a request body.
+func decodeInto(body []byte, v any) error {
+	dec := json.NewDecoder(strings.NewReader(string(body)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&v); err != nil {
+		return fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	return nil
+}
+
+// cacheElemsOf resolves the capacity pair every model endpoint carries.
+func cacheElemsOf(elems, kb int64) (int64, error) {
+	switch {
+	case elems > 0:
+		return elems, nil
+	case kb > 0:
+		return experiments.KB(kb), nil
+	}
+	return 0, fmt.Errorf("%w: request needs cacheElems or cacheKB", errBadRequest)
+}
+
+// marshal renders every response: indented deterministic JSON with a
+// trailing newline, so cached bytes, direct Compute calls and golden files
+// compare byte-for-byte.
+func marshal(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// AnalyzeRequest selects a nest; bindings are accepted but irrelevant (the
+// component inventory is symbolic), so they do not enter the cache key.
+type AnalyzeRequest struct {
+	NestRequest
+}
+
+// AnalyzeResponse is the symbolic component inventory of a nest.
+type AnalyzeResponse struct {
+	Nest       string               `json:"nest"`    // nest name
+	Source     string               `json:"source"`  // canonical nest text
+	Symbols    []string             `json:"symbols"` // sorted symbol names
+	Components []core.ComponentJSON `json:"components"`
+}
+
+// PredictRequest evaluates the model at concrete bindings. Capacity is
+// given as elements or kilobytes (8-byte elements); detail adds the
+// per-site miss breakdown.
+type PredictRequest struct {
+	NestRequest
+	CacheElems int64 `json:"cacheElems,omitempty"`
+	CacheKB    int64 `json:"cacheKB,omitempty"`
+	Detail     bool  `json:"detail,omitempty"`
+}
+
+// PredictResponse is a concrete miss prediction.
+type PredictResponse struct {
+	Nest       string           `json:"nest"`
+	Env        map[string]int64 `json:"env"`
+	CacheElems int64            `json:"cacheElems"`
+	Accesses   int64            `json:"accesses"`
+	Misses     int64            `json:"misses"`
+	BySite     map[string]int64 `json:"bySite,omitempty"`
+}
+
+// TileSearchRequest runs the §6 search. Dims maps each tile symbol to its
+// largest candidate size; the base environment must bind the loop bounds.
+type TileSearchRequest struct {
+	NestRequest
+	CacheElems int64            `json:"cacheElems,omitempty"`
+	CacheKB    int64            `json:"cacheKB,omitempty"`
+	Dims       map[string]int64 `json:"dims"`
+	MinTile    int64            `json:"minTile,omitempty"`
+	DivisorOf  int64            `json:"divisorOf,omitempty"`
+}
+
+// PhaseSummary reports the search's phase structure (coarse sweep,
+// frontier, refinement) as evaluated-candidate counts. Deterministic for a
+// given request.
+type PhaseSummary struct {
+	Coarse       int64 `json:"coarse"`
+	Refine       int64 `json:"refine"`
+	FrontierSize int64 `json:"frontierSize"`
+	Probes       int64 `json:"probes"` // frontier-detection probe evaluations
+	Pruned       int64 `json:"pruned"`
+	Evaluated    int64 `json:"evaluated"`
+}
+
+// TileSearchResponse is the search outcome plus its phase summary.
+type TileSearchResponse struct {
+	Nest       string                `json:"nest"`
+	CacheElems int64                 `json:"cacheElems"`
+	Result     tilesearch.ResultJSON `json:"result"`
+	Phases     PhaseSummary          `json:"phases"`
+}
+
+// SimulateRequest runs the exact stack-distance simulator over the nest's
+// reference trace. Watches are cache capacities in elements (or watchKB in
+// kilobytes); perSite adds the per-reference-site breakdown.
+type SimulateRequest struct {
+	NestRequest
+	Watches []int64 `json:"watches,omitempty"`
+	WatchKB []int64 `json:"watchKB,omitempty"`
+	PerSite bool    `json:"perSite,omitempty"`
+}
+
+// SimulateResponse is the simulation outcome.
+type SimulateResponse struct {
+	Nest    string               `json:"nest"`
+	Env     map[string]int64     `json:"env"`
+	Length  int64                `json:"length"` // trace length in accesses
+	Results cachesim.ResultsJSON `json:"results"`
+}
+
+// key builders: endpoint tag, canonical spec key, then the endpoint's
+// extra parameters, NUL-separated. Two requests share a key exactly when
+// the canonical computation is identical.
+
+func analyzeKey(spec *loopir.Spec) string {
+	return "analyze\x00" + spec.Nest
+}
+
+func predictKey(spec *loopir.Spec, cacheElems int64, detail bool) string {
+	k := "predict\x00" + spec.Key() + "\x00" + strconv.FormatInt(cacheElems, 10)
+	if detail {
+		k += "\x00detail"
+	}
+	return k
+}
+
+func tileSearchKey(spec *loopir.Spec, req *TileSearchRequest, cacheElems int64) string {
+	dims := tilesearch.SortedDims(req.Dims)
+	var b strings.Builder
+	b.WriteString("tilesearch\x00")
+	b.WriteString(spec.Key())
+	fmt.Fprintf(&b, "\x00%d\x00%d\x00%d\x00", cacheElems, req.MinTile, req.DivisorOf)
+	for i, d := range dims {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%d", d.Symbol, d.Max)
+	}
+	return b.String()
+}
+
+func simulateKey(spec *loopir.Spec, watches []int64, perSite bool) string {
+	var b strings.Builder
+	b.WriteString("simulate\x00")
+	b.WriteString(spec.Key())
+	b.WriteByte(0)
+	for i, w := range watches {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(w, 10))
+	}
+	if perSite {
+		b.WriteString("\x00persite")
+	}
+	return b.String()
+}
+
+// computeAnalyze is the /v1/analyze computation.
+func (s *Service) computeAnalyze(ctx context.Context, spec *loopir.Spec) ([]byte, error) {
+	a, err := s.getAnalysis(ctx, spec.Nest)
+	if err != nil {
+		return nil, err
+	}
+	return marshal(AnalyzeResponse{
+		Nest:       a.Nest.Name,
+		Source:     spec.Nest,
+		Symbols:    a.Nest.SymbolNames(),
+		Components: a.ComponentsJSON(),
+	})
+}
+
+// computePredict is the /v1/predict computation: the frame-based fast path
+// of the compiled model, on a pooled frame.
+func (s *Service) computePredict(ctx context.Context, spec *loopir.Spec, cacheElems int64, detail bool) ([]byte, error) {
+	a, err := s.getAnalysis(ctx, spec.Nest)
+	if err != nil {
+		return nil, err
+	}
+	f := a.GetFrame()
+	defer a.PutFrame(f)
+	f.Bind(spec.ExprEnv())
+	rep, err := a.PredictMissesFrame(f, cacheElems)
+	if err != nil {
+		return nil, err
+	}
+	resp := PredictResponse{
+		Nest:       a.Nest.Name,
+		Env:        spec.Env,
+		CacheElems: cacheElems,
+		Accesses:   rep.Accesses,
+		Misses:     rep.Total,
+	}
+	if detail {
+		resp.BySite = rep.BySite
+	}
+	return marshal(resp)
+}
+
+// computeTileSearch is the /v1/tilesearch computation. The search runs
+// sequentially (Parallelism 1): concurrency in the serving layer comes
+// from the worker pool, and nesting a second level of parallelism inside a
+// pool slot would oversubscribe the host. A per-request obs registry
+// collects the phase counters for the response.
+func (s *Service) computeTileSearch(ctx context.Context, spec *loopir.Spec, req *TileSearchRequest, cacheElems int64) ([]byte, error) {
+	if len(req.Dims) == 0 {
+		return nil, fmt.Errorf("%w: tilesearch request needs dims", errBadRequest)
+	}
+	a, err := s.getAnalysis(ctx, spec.Nest)
+	if err != nil {
+		return nil, err
+	}
+	m := obs.New()
+	res, err := tilesearch.Search(a, tilesearch.Options{
+		Dims:       tilesearch.SortedDims(req.Dims),
+		CacheElems: cacheElems,
+		BaseEnv:    spec.ExprEnv(),
+		MinTile:    req.MinTile,
+		DivisorOf:  req.DivisorOf,
+		Context:    ctx,
+		Obs:        m,
+	})
+	if err != nil {
+		return nil, err
+	}
+	counters, gauges := m.Counters(), m.Gauges()
+	return marshal(TileSearchResponse{
+		Nest:       a.Nest.Name,
+		CacheElems: cacheElems,
+		Result:     res.JSON(),
+		Phases: PhaseSummary{
+			Coarse:       counters["search.candidates.coarse"],
+			Refine:       counters["search.candidates.refine"],
+			FrontierSize: gauges["search.frontier.size"],
+			Probes:       counters["search.candidates.frontier"],
+			Pruned:       counters["search.pruned"],
+			Evaluated:    gauges["search.evaluated"],
+		},
+	})
+}
+
+// computeSimulate is the /v1/simulate computation: compile the trace,
+// stream it through the batched stack simulator, report per-capacity
+// misses.
+func (s *Service) computeSimulate(ctx context.Context, spec *loopir.Spec, watches []int64, perSite bool) ([]byte, error) {
+	nest, err := loopir.Parse(spec.Nest)
+	if err != nil {
+		return nil, err
+	}
+	p, err := trace.Compile(nest, spec.ExprEnv())
+	if err != nil {
+		return nil, err
+	}
+	length, err := p.Length()
+	if err != nil {
+		return nil, err
+	}
+	if length > s.cfg.MaxTraceLen {
+		return nil, fmt.Errorf("%w: trace length %d exceeds limit %d", errBadRequest, length, s.cfg.MaxTraceLen)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sim := cachesim.NewStackSim(p.Size, len(p.Sites), watches)
+	p.RunBlocks(trace.DefaultBlockSize, sim.AccessBlock)
+	res := sim.Results()
+	var labels []string
+	if perSite {
+		labels = make([]string, len(p.Sites))
+		for i, site := range p.Sites {
+			labels[i] = site.Key()
+		}
+	}
+	return marshal(SimulateResponse{
+		Nest:    nest.Name,
+		Env:     spec.Env,
+		Length:  length,
+		Results: res.JSON(labels),
+	})
+}
+
+// normWatches sorts, dedupes and validates the watch list so equivalent
+// requests key and respond identically.
+func normWatches(watches, watchKB []int64) ([]int64, error) {
+	out := append([]int64(nil), watches...)
+	for _, kb := range watchKB {
+		out = append(out, experiments.KB(kb))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: simulate request needs watches or watchKB", errBadRequest)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	uniq := out[:1]
+	for _, w := range out[1:] {
+		if w != uniq[len(uniq)-1] {
+			uniq = append(uniq, w)
+		}
+	}
+	for _, w := range uniq {
+		if w <= 0 {
+			return nil, fmt.Errorf("%w: watch capacities must be positive, got %d", errBadRequest, w)
+		}
+	}
+	return uniq, nil
+}
+
+// Compute resolves and computes a request body directly, bypassing HTTP,
+// cache, and admission control — the "direct library call" the load
+// generator verifies served bytes against. path selects the endpoint
+// ("/v1/analyze", "/v1/predict", "/v1/tilesearch", "/v1/simulate") and the
+// returned bytes are exactly what the corresponding handler serves on a
+// 200.
+func (s *Service) Compute(ctx context.Context, path string, body []byte) ([]byte, error) {
+	_, compute, err := s.plan(path, body)
+	if err != nil {
+		return nil, err
+	}
+	return compute(ctx)
+}
+
+// plan parses a request body for an endpoint path and returns its cache
+// key plus the computation that produces its response bytes. The HTTP
+// handlers and Compute share this single resolution path, which is what
+// makes served and directly-computed bytes identical by construction.
+func (s *Service) plan(path string, body []byte) (string, func(context.Context) ([]byte, error), error) {
+	switch path {
+	case "/v1/analyze":
+		var req AnalyzeRequest
+		if err := decodeInto(body, &req); err != nil {
+			return "", nil, err
+		}
+		spec, err := req.resolve()
+		if err != nil {
+			return "", nil, err
+		}
+		return analyzeKey(spec), func(ctx context.Context) ([]byte, error) {
+			return s.computeAnalyze(ctx, spec)
+		}, nil
+	case "/v1/predict":
+		var req PredictRequest
+		if err := decodeInto(body, &req); err != nil {
+			return "", nil, err
+		}
+		spec, err := req.resolve()
+		if err != nil {
+			return "", nil, err
+		}
+		cacheElems, err := cacheElemsOf(req.CacheElems, req.CacheKB)
+		if err != nil {
+			return "", nil, err
+		}
+		return predictKey(spec, cacheElems, req.Detail), func(ctx context.Context) ([]byte, error) {
+			return s.computePredict(ctx, spec, cacheElems, req.Detail)
+		}, nil
+	case "/v1/tilesearch":
+		var req TileSearchRequest
+		if err := decodeInto(body, &req); err != nil {
+			return "", nil, err
+		}
+		spec, err := req.resolve()
+		if err != nil {
+			return "", nil, err
+		}
+		cacheElems, err := cacheElemsOf(req.CacheElems, req.CacheKB)
+		if err != nil {
+			return "", nil, err
+		}
+		return tileSearchKey(spec, &req, cacheElems), func(ctx context.Context) ([]byte, error) {
+			return s.computeTileSearch(ctx, spec, &req, cacheElems)
+		}, nil
+	case "/v1/simulate":
+		var req SimulateRequest
+		if err := decodeInto(body, &req); err != nil {
+			return "", nil, err
+		}
+		spec, err := req.resolve()
+		if err != nil {
+			return "", nil, err
+		}
+		watches, err := normWatches(req.Watches, req.WatchKB)
+		if err != nil {
+			return "", nil, err
+		}
+		return simulateKey(spec, watches, req.PerSite), func(ctx context.Context) ([]byte, error) {
+			return s.computeSimulate(ctx, spec, watches, req.PerSite)
+		}, nil
+	}
+	return "", nil, fmt.Errorf("%w: unknown endpoint %s", errBadRequest, path)
+}

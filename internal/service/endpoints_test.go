@@ -1,0 +1,181 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// endpointFixtures is the fixed request script behind the golden tests and
+// the determinism test: one representative request per endpoint, small
+// enough that the full suite stays fast.
+var endpointFixtures = []struct {
+	name, path, body string
+}{
+	{
+		name: "analyze_matmul",
+		path: "/v1/analyze",
+		body: `{"kernel":"matmul","n":16,"tiles":[4,4,4]}`,
+	},
+	{
+		name: "predict_matmul",
+		path: "/v1/predict",
+		body: `{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4,"detail":true}`,
+	},
+	{
+		name: "tilesearch_matmul",
+		path: "/v1/tilesearch",
+		body: `{"kernel":"matmul","n":32,"tiles":[4,4,4],"cacheKB":4,"dims":{"TI":32,"TJ":32,"TK":32}}`,
+	},
+	{
+		name: "simulate_matmul",
+		path: "/v1/simulate",
+		body: `{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4],"perSite":true}`,
+	},
+}
+
+func newTestService(t *testing.T) (*Service, *obs.Metrics) {
+	t.Helper()
+	m := obs.New()
+	svc := New(Config{Obs: m, Workers: 2, QueueDepth: 16})
+	t.Cleanup(svc.Close)
+	return svc, m
+}
+
+func post(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// TestEndpointGolden pins each endpoint's JSON response byte-for-byte.
+// Regenerate with: go test ./internal/service -run Golden -update
+func TestEndpointGolden(t *testing.T) {
+	svc, _ := newTestService(t)
+	h := svc.Handler()
+	for _, fx := range endpointFixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			w := post(t, h, fx.path, fx.body)
+			if w.Code != http.StatusOK {
+				t.Fatalf("%s: status %d: %s", fx.path, w.Code, w.Body.String())
+			}
+			got := w.Body.Bytes()
+
+			// The handler's bytes must equal the direct library call's.
+			direct, err := svc.Compute(context.Background(), fx.path, []byte(fx.body))
+			if err != nil {
+				t.Fatalf("direct compute: %v", err)
+			}
+			if !bytes.Equal(got, direct) {
+				t.Fatalf("served response differs from direct Compute")
+			}
+
+			golden := filepath.Join("testdata", fx.name+".golden.json")
+			if *update {
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("response differs from %s:\ngot:\n%s\nwant:\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// TestEndpointErrors pins the error statuses of the request lifecycle.
+func TestEndpointErrors(t *testing.T) {
+	svc, _ := newTestService(t)
+	h := svc.Handler()
+	cases := []struct {
+		name, path, body string
+		method           string
+		wantCode         int
+	}{
+		{"get rejected", "/v1/predict", "", http.MethodGet, http.StatusMethodNotAllowed},
+		{"bad json", "/v1/predict", `{"kernel":`, http.MethodPost, http.StatusBadRequest},
+		{"unknown field", "/v1/analyze", `{"kernle":"matmul"}`, http.MethodPost, http.StatusBadRequest},
+		{"no nest or kernel", "/v1/analyze", `{}`, http.MethodPost, http.StatusBadRequest},
+		{"both nest and kernel", "/v1/analyze", `{"kernel":"matmul","n":16,"nest":"nest x\nfor i = 2 {\nS0: A[i] = 0\n}","env":{}}`, http.MethodPost, http.StatusBadRequest},
+		{"kernel without n", "/v1/predict", `{"kernel":"matmul","cacheKB":4}`, http.MethodPost, http.StatusBadRequest},
+		{"no capacity", "/v1/predict", `{"kernel":"matmul","n":16}`, http.MethodPost, http.StatusBadRequest},
+		{"missing binding", "/v1/predict", `{"nest":"nest t\narray A[N]\nfor i = N {\nS0: A[i] = 0\n}\n","cacheKB":4}`, http.MethodPost, http.StatusBadRequest},
+		{"no dims", "/v1/tilesearch", `{"kernel":"matmul","n":32,"cacheKB":4,"dims":{}}`, http.MethodPost, http.StatusBadRequest},
+		{"no watches", "/v1/simulate", `{"kernel":"matmul","n":16}`, http.MethodPost, http.StatusBadRequest},
+		{"negative watch", "/v1/simulate", `{"kernel":"matmul","n":16,"watches":[-1]}`, http.MethodPost, http.StatusBadRequest},
+		{"oversized trace", "/v1/simulate", `{"kernel":"matmul","n":2048,"tiles":[64,64,64],"watchKB":[4]}`, http.MethodPost, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest(tc.method, tc.path, strings.NewReader(tc.body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != tc.wantCode {
+				t.Errorf("status %d, want %d (body %s)", w.Code, tc.wantCode, w.Body.String())
+			}
+		})
+	}
+	// The oversize guard is MaxTraceLen at work: 2048³ matmul iterations
+	// exceed the default 1<<28 accesses.
+}
+
+// TestHealthz: readiness flips with the draining flag.
+func TestHealthz(t *testing.T) {
+	svc, _ := newTestService(t)
+	h := svc.Handler()
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz before drain: %d", w.Code)
+	}
+	svc.draining.Store(true)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d, want 503", w.Code)
+	}
+}
+
+// TestCanonicalizationSharesCache: two syntactically different requests
+// for the same problem — reordered env keys, whitespace, comments, junk
+// bindings, kernel form vs equivalent inline form — hit one cache entry.
+func TestCanonicalizationSharesCache(t *testing.T) {
+	svc, m := newTestService(t)
+	h := svc.Handler()
+
+	// The same inline nest twice: once as written, once with shuffled env
+	// order, extra whitespace, a comment and an irrelevant binding.
+	a := `{"nest":"nest t\narray A[N]\nfor i = N {\nS0: A[i] = 0\n}\n","env":{"N":64},"cacheKB":4}`
+	b := `{"nest":"# same nest\nnest t\narray A[N]\n\nfor i = N  {\nS0: A[i] = 0\n}\n","env":{"JUNK":1,"N":64},"cacheKB":4}`
+	r1 := post(t, h, "/v1/predict", a)
+	r2 := post(t, h, "/v1/predict", b)
+	if r1.Code != http.StatusOK || r2.Code != http.StatusOK {
+		t.Fatalf("status %d / %d: %s %s", r1.Code, r2.Code, r1.Body.String(), r2.Body.String())
+	}
+	if !bytes.Equal(r1.Body.Bytes(), r2.Body.Bytes()) {
+		t.Error("equivalent requests served different bytes")
+	}
+	c := m.Counters()
+	if c["service.cache.misses"] != 1 || c["service.cache.hits"] != 1 {
+		t.Errorf("cache misses=%d hits=%d, want 1/1 (canonical keys should collide)",
+			c["service.cache.misses"], c["service.cache.hits"])
+	}
+}

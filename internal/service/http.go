@@ -1,0 +1,206 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// maxBodyBytes bounds request bodies; nest sources are small.
+const maxBodyBytes = 1 << 20
+
+// errorBody is the JSON error envelope every non-200 carries.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP mux: the four /v1 endpoints plus
+// /healthz (200 while serving, 503 while draining — a readiness probe).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for _, ep := range []struct{ name, path string }{
+		{"analyze", "/v1/analyze"},
+		{"predict", "/v1/predict"},
+		{"tilesearch", "/v1/tilesearch"},
+		{"simulate", "/v1/simulate"},
+	} {
+		mux.Handle(ep.path, s.endpoint(ep.path, s.eps[ep.name]))
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// endpoint wraps one API route with the request lifecycle every endpoint
+// shares: counting, admission, coalescing, timeout, and status mapping.
+// Exactly one of ok/errors/rejected is incremented per request, so
+// requests == ok + errors + rejected holds at every instant the counters
+// are quiescent.
+func (s *Service) endpoint(path string, st *epStats) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := st.latency.Start()
+		defer sw.Stop()
+		s.total.Inc()
+		st.requests.Inc()
+
+		if r.Method != http.MethodPost {
+			st.errors.Inc()
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+			return
+		}
+		if s.draining.Load() {
+			st.rejected.Inc()
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+		if err != nil {
+			st.errors.Inc()
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+		key, compute, err := s.planCached(path, body)
+		if err != nil {
+			st.errors.Inc()
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+
+		// Singleflight: first caller for the key leads, the rest coalesce.
+		// The leader's computation runs on the worker pool under the
+		// service timeout, detached from this request's context — a
+		// coalesced waiter must not lose the result because the leader's
+		// client hung up.
+		e, leader := s.resp.acquire(key)
+		if leader {
+			accepted := s.pool.trySubmit(func() {
+				ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+				defer cancel()
+				data, err := compute(ctx)
+				s.resp.complete(e, data, err)
+			})
+			if !accepted {
+				// Complete the entry so coalesced waiters see the same
+				// overload instead of hanging; the error also removes the
+				// entry, so the key retries cleanly.
+				s.resp.complete(e, nil, ErrOverload)
+			}
+		}
+
+		wait, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		select {
+		case <-e.done:
+		case <-wait.Done():
+			st.errors.Inc()
+			writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "timed out waiting for result"})
+			return
+		}
+
+		switch {
+		case e.err == nil:
+			st.ok.Inc()
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			w.Write(e.val)
+		case errors.Is(e.err, ErrOverload):
+			st.rejected.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: e.err.Error()})
+		case errors.Is(e.err, context.DeadlineExceeded), errors.Is(e.err, context.Canceled):
+			st.errors.Inc()
+			writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "computation timed out"})
+		default:
+			st.errors.Inc()
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: e.err.Error()})
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	w.Write(data)
+}
+
+// Server is a Service bound to a listener, with a drain path that loses no
+// accepted request.
+type Server struct {
+	Service *Service
+	http    *http.Server
+	addr    string
+	done    chan error
+}
+
+// Serve binds addr (":0" picks a free port) and serves the API in a
+// background goroutine. Stop with Drain.
+func Serve(addr string, svc *Service) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sv := &Server{
+		Service: svc,
+		http:    &http.Server{Handler: svc.Handler()},
+		addr:    ln.Addr().String(),
+		done:    make(chan error, 1),
+	}
+	go func() {
+		err := sv.http.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		sv.done <- err
+	}()
+	return sv, nil
+}
+
+// Addr returns the bound listen address.
+func (sv *Server) Addr() string { return sv.addr }
+
+// Drain performs the graceful-shutdown sequence:
+//
+//  1. flip the draining flag — every new request is answered 503 and
+//     /healthz fails, so load balancers stop routing here;
+//  2. shut the HTTP server down, which closes the listener and waits for
+//     in-flight handlers; those handlers are waiting on cache entries
+//     whose computations sit in the worker pool, and the pool never drops
+//     an accepted task, so each gets its real response;
+//  3. close the pool: admission is already impossible (no handlers
+//     remain), the queue runs dry, the workers exit.
+//
+// If ctx expires mid-shutdown the remaining connections are closed
+// forcibly and the context error is returned.
+func (sv *Server) Drain(ctx context.Context) error {
+	sv.Service.draining.Store(true)
+	err := sv.http.Shutdown(ctx)
+	if err != nil {
+		sv.http.Close()
+	}
+	sv.Service.pool.close()
+	if serveErr := <-sv.done; serveErr != nil && err == nil {
+		err = serveErr
+	}
+	if err != nil {
+		return fmt.Errorf("service: drain: %w", err)
+	}
+	return nil
+}
+
+// DrainTimeout is the default bound production callers give Drain.
+const DrainTimeout = 30 * time.Second

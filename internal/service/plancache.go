@@ -1,0 +1,87 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// planCache memoizes request planning — JSON decode, kernel construction,
+// nest parse, canonicalization, key packing — by exact (path, body) bytes.
+// Planning is deterministic, so identical bodies always reproduce the same
+// canonical key and an equivalent computation; memoizing it moves the
+// per-request hot path of a cache-hit request from "parse and canonicalize
+// a nest" to "one map lookup". It is strictly an optimization: a body that
+// misses here is planned from scratch and a hit can never change a
+// response, only skip recomputing its key.
+//
+// Planning errors are cached too (they are equally deterministic), which
+// also bounds the work a client re-sending a malformed body can cause.
+// Only small bodies are memoized so the cache's memory stays bounded by
+// planCacheCap * maxPlanBody.
+type planCache struct {
+	mu      sync.Mutex
+	lru     *list.List
+	entries map[string]*list.Element
+
+	hits, misses *obs.Counter
+}
+
+// planned is one memoized planning outcome.
+type planned struct {
+	memoKey string
+	key     string
+	compute func(context.Context) ([]byte, error)
+	err     error
+}
+
+const (
+	planCacheCap = 1024
+	maxPlanBody  = 4 << 10
+)
+
+func newPlanCache(m *obs.Metrics) *planCache {
+	return &planCache{
+		lru:     list.New(),
+		entries: map[string]*list.Element{},
+		hits:    m.Counter("service.plans.hits"),
+		misses:  m.Counter("service.plans.misses"),
+	}
+}
+
+// planCached resolves a request through the memo. Concurrent first
+// requests for a body may plan it twice; the duplicate insert loses and
+// the work is discarded — planning is cheap enough that singleflight
+// machinery here would cost more than it saves.
+func (s *Service) planCached(path string, body []byte) (string, func(context.Context) ([]byte, error), error) {
+	if len(body) > maxPlanBody {
+		return s.plan(path, body)
+	}
+	c := s.plans
+	memoKey := path + "\x00" + string(body)
+	c.mu.Lock()
+	if el, ok := c.entries[memoKey]; ok {
+		c.lru.MoveToFront(el)
+		p := el.Value.(*planned)
+		c.mu.Unlock()
+		c.hits.Inc()
+		return p.key, p.compute, p.err
+	}
+	c.mu.Unlock()
+
+	key, compute, err := s.plan(path, body)
+	c.mu.Lock()
+	if _, ok := c.entries[memoKey]; !ok {
+		c.entries[memoKey] = c.lru.PushFront(&planned{memoKey: memoKey, key: key, compute: compute, err: err})
+		for c.lru.Len() > planCacheCap {
+			el := c.lru.Back()
+			c.lru.Remove(el)
+			delete(c.entries, el.Value.(*planned).memoKey)
+		}
+	}
+	c.mu.Unlock()
+	c.misses.Inc()
+	return key, compute, err
+}

@@ -1,0 +1,170 @@
+// Package service is the serving layer of the pipeline: an HTTP JSON API
+// exposing the cache model (/v1/analyze, /v1/predict), the §6 tile-size
+// search (/v1/tilesearch) and the stack-distance simulator (/v1/simulate)
+// as a concurrent network service.
+//
+// The design centers on three mechanisms:
+//
+//   - Canonical request keys. Every request resolves to a canonical
+//     loopir.Spec (nest source re-rendered by Unparse, environment
+//     restricted to the nest's symbols), so syntactically different but
+//     equivalent requests — reordered arrays, shuffled env keys, comments,
+//     junk bindings — share one cache key.
+//
+//   - A bounded LRU response cache with singleflight coalescing. The first
+//     request for a key becomes the leader and computes; concurrent
+//     identical requests wait on the same entry and receive byte-identical
+//     bytes. Completed responses are served straight from the cache until
+//     evicted. Errors are never cached.
+//
+//   - Admission control. Leaders run their computation on a fixed worker
+//     pool behind a bounded queue; when the queue is full the request is
+//     answered 429 immediately. During drain (Server.Drain) new requests
+//     are answered 503 while in-flight ones run to completion, so a
+//     SIGTERM loses no accepted work.
+//
+// Every endpoint handler maintains the metric invariant
+//
+//	service.<ep>.requests == .ok + .errors + .rejected
+//
+// which the drain storm test asserts under the race detector. Cache
+// counters follow the determinism stance of flightCache: misses and hits
+// are deterministic for a fixed request script (capacity permitting);
+// coalesced is the timing-dependent subset of hits.
+package service
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loopir"
+	"repro/internal/obs"
+)
+
+// Config sizes the service. The zero value of every field selects a
+// sensible default.
+type Config struct {
+	// Workers is the number of compute workers; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the admission queue; 0 means 64. A full queue
+	// answers 429.
+	QueueDepth int
+	// CacheEntries bounds the response LRU; 0 means 256.
+	CacheEntries int
+	// AnalysisEntries bounds the analysis LRU (canonical nest → analyzed
+	// model); 0 means 64.
+	AnalysisEntries int
+	// RequestTimeout bounds both a computation and a handler's wait for a
+	// coalesced result; 0 means 30s. An expired wait answers 504.
+	RequestTimeout time.Duration
+	// MaxTraceLen rejects /v1/simulate requests whose reference trace
+	// exceeds this many accesses; 0 means 1<<28.
+	MaxTraceLen int64
+	// Obs receives the service instruments (see README's Observability
+	// section); nil disables instrumentation.
+	Obs *obs.Metrics
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.AnalysisEntries <= 0 {
+		c.AnalysisEntries = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxTraceLen <= 0 {
+		c.MaxTraceLen = 1 << 28
+	}
+	return c
+}
+
+// Service implements the analysis API. Construct with New, mount via
+// Handler (or serve via Serve), stop via Server.Drain.
+type Service struct {
+	cfg      Config
+	m        *obs.Metrics
+	pool     *workPool
+	resp     *flightCache[[]byte]
+	analyses *flightCache[*core.Analysis]
+	plans    *planCache
+	draining atomic.Bool
+
+	total *obs.Counter // "service.requests"
+	eps   map[string]*epStats
+}
+
+// epStats is one endpoint's pre-resolved instruments.
+type epStats struct {
+	requests, ok, errors, rejected *obs.Counter
+	latency                        *obs.Timer
+}
+
+// New creates a service. The worker pool starts immediately; a service
+// that is never drained leaks its workers, so pair New with Server.Drain
+// (or Close in tests).
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	m := cfg.Obs
+	s := &Service{
+		cfg:      cfg,
+		m:        m,
+		resp:     newFlightCache[[]byte](cfg.CacheEntries, m, "service.cache"),
+		analyses: newFlightCache[*core.Analysis](cfg.AnalysisEntries, m, "service.analyses"),
+		plans:    newPlanCache(m),
+		total:    m.Counter("service.requests"),
+		eps:      map[string]*epStats{},
+	}
+	s.pool = newWorkPool(cfg.Workers, cfg.QueueDepth, m.Gauge("service.queue.depth"))
+	for _, ep := range []string{"analyze", "predict", "tilesearch", "simulate"} {
+		s.eps[ep] = &epStats{
+			requests: m.Counter("service." + ep + ".requests"),
+			ok:       m.Counter("service." + ep + ".ok"),
+			errors:   m.Counter("service." + ep + ".errors"),
+			rejected: m.Counter("service." + ep + ".rejected"),
+			latency:  m.Timer("service." + ep + ".latency"),
+		}
+	}
+	return s
+}
+
+// Close stops the worker pool after draining accepted tasks. Handler must
+// no longer be receiving requests (tests use httptest.Server.Close first;
+// production goes through Server.Drain, which orders this correctly).
+func (s *Service) Close() {
+	s.draining.Store(true)
+	s.pool.close()
+}
+
+// getAnalysis returns the analyzed model for a canonical nest source,
+// computing and caching it on first use. Analyses are immutable after
+// construction and safe for concurrent use; per-request mutable state
+// lives in pooled frames (core.Analysis.GetFrame).
+func (s *Service) getAnalysis(ctx context.Context, canonicalNest string) (*core.Analysis, error) {
+	e, leader := s.analyses.acquire(canonicalNest)
+	if leader {
+		var a *core.Analysis
+		nest, err := loopir.Parse(canonicalNest)
+		if err == nil {
+			a, err = core.Analyze(nest)
+		}
+		s.analyses.complete(e, a, err)
+	}
+	select {
+	case <-e.done:
+		return e.val, e.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

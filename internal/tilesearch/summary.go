@@ -1,0 +1,61 @@
+package tilesearch
+
+import "sort"
+
+// CandidateJSON is the serializable form of one evaluated tile assignment:
+// tiles are rendered as a map (encoding/json sorts the keys), so equal
+// candidates marshal to equal bytes.
+type CandidateJSON struct {
+	Tiles  map[string]int64 `json:"tiles"`
+	Misses int64            `json:"misses"`
+}
+
+// ResultJSON is the serializable outcome of a search, including the phase
+// summary the serving layer returns from /v1/tilesearch. All fields are
+// deterministic for a given search, at every parallelism level.
+type ResultJSON struct {
+	Best     CandidateJSON   `json:"best"`
+	Frontier []CandidateJSON `json:"frontier"`
+	// Evaluated counts distinct tile assignments scored; CacheLookups and
+	// CacheComputed are the component-evaluation cache counters behind them
+	// (hit rate = 1 - computed/lookups).
+	Evaluated     int   `json:"evaluated"`
+	CacheLookups  int64 `json:"cacheLookups"`
+	CacheComputed int64 `json:"cacheComputed"`
+}
+
+// JSON converts a search result into its serializable form. Frontier
+// candidates are ordered as the search returned them (by miss count, the
+// topK order).
+func (r *Result) JSON() ResultJSON {
+	out := ResultJSON{
+		Best:          candidateJSON(r.Best),
+		Evaluated:     r.Evaluated,
+		CacheLookups:  r.Cache.Lookups,
+		CacheComputed: r.Cache.Computed,
+	}
+	out.Frontier = make([]CandidateJSON, len(r.Frontier))
+	for i, c := range r.Frontier {
+		out.Frontier[i] = candidateJSON(c)
+	}
+	return out
+}
+
+func candidateJSON(c Candidate) CandidateJSON {
+	return CandidateJSON{Tiles: cloneTiles(c.Tiles), Misses: c.Misses}
+}
+
+// SortedDims returns the search dimensions sorted by symbol — the
+// deterministic order request handlers use when accepting dims as a map.
+func SortedDims(maxBySymbol map[string]int64) []Dim {
+	syms := make([]string, 0, len(maxBySymbol))
+	for s := range maxBySymbol {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	dims := make([]Dim, len(syms))
+	for i, s := range syms {
+		dims[i] = Dim{Symbol: s, Max: maxBySymbol[s]}
+	}
+	return dims
+}

@@ -1,0 +1,44 @@
+#!/bin/sh
+# serve_check: end-to-end lifecycle check of analysisd — start it on a free
+# port, wait for readiness, exercise one request per endpoint, send SIGTERM,
+# and require a clean drain. CI runs this after the test suite.
+set -eu
+
+log=$(mktemp)
+trap 'rm -f "$log"; kill "$pid" 2>/dev/null || true' EXIT
+
+go build -o /tmp/analysisd ./cmd/analysisd
+/tmp/analysisd -addr 127.0.0.1:0 >"$log" 2>&1 &
+pid=$!
+
+# Wait for the listen line and extract the bound address.
+addr=""
+for i in $(seq 1 50); do
+    addr=$(sed -n 's/^analysisd listening on //p' "$log")
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "serve_check: analysisd died:"; cat "$log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve_check: no listen line"; cat "$log"; exit 1; }
+base="http://$addr"
+
+# Readiness.
+curl -sf "$base/healthz" >/dev/null || { echo "serve_check: healthz failed"; exit 1; }
+
+# One request per endpoint must answer 200.
+check() {
+    path=$1; body=$2
+    code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d "$body" "$base$path")
+    [ "$code" = 200 ] || { echo "serve_check: POST $path -> $code"; exit 1; }
+}
+check /v1/analyze    '{"kernel":"matmul","n":16,"tiles":[4,4,4]}'
+check /v1/predict    '{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4}'
+check /v1/tilesearch '{"kernel":"matmul","n":32,"tiles":[4,4,4],"cacheKB":4,"dims":{"TI":32,"TJ":32,"TK":32}}'
+check /v1/simulate   '{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4]}'
+
+# Graceful drain: SIGTERM must produce a clean exit and the drain line.
+kill -TERM "$pid"
+wait "$pid" || { echo "serve_check: non-zero exit after SIGTERM"; cat "$log"; exit 1; }
+grep -q "drained cleanly" "$log" || { echo "serve_check: no clean-drain line"; cat "$log"; exit 1; }
+
+echo "serve_check: OK ($base)"
