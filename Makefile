@@ -21,22 +21,28 @@ race:
 	$(GO) test -race ./...
 
 # A 10-second no-panic fuzz of AnalyzeWithOptions + Search on top of the
-# checked-in seed corpus.
+# checked-in seed corpus, plus the cross-engine simulation invariants:
+# analytic vs exact agreement and the sampled estimator's bounds.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzAnalyzeNoPanic$$' -fuzztime 10s ./internal/tilesearch
+	$(GO) test -run '^$$' -fuzz '^FuzzAnalyticVsExact$$' -fuzztime 10s ./internal/validate
+	$(GO) test -run '^$$' -fuzz '^FuzzSampledBounds$$' -fuzztime 10s ./internal/validate
 
 check: vet race fuzz-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
 
-# Simulation-pipeline benchmarks (frozen scalar baseline vs batched/sharded)
-# and the committed BENCH_sim.json artifact. The go-test benchmarks and the
-# artifact generator share the internal/simbench workload definitions, so
-# the two outputs measure the same thing.
+# Simulation-pipeline benchmarks (frozen scalar baseline vs batched/sharded,
+# plus per-engine rows) and the committed BENCH_sim.json artifact. The
+# go-test benchmarks and the artifact generator share the internal/simbench
+# workload definitions, so the two outputs measure the same thing. The final
+# smoke run fails if the analytic engine is not ≥100× faster than the exact
+# simulator on the n=512 matmul.
 bench-sim:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/simbench
 	$(GO) run ./cmd/simbench -o BENCH_sim.json
+	$(GO) run ./cmd/simbench -smoke
 
 # Symbolic-evaluation benchmarks (tree-walking baseline vs compiled
 # programs on slot frames) and the committed BENCH_eval.json artifact,

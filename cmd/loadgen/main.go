@@ -11,8 +11,9 @@
 //     every client — after the first computation the response is served
 //     from the coalescing cache, so this measures the serving overhead
 //     ceiling (the ≥10k requests/sec acceptance bar lives here);
-//   - mixed: a four-endpoint script (two predicts, an analyze, a small
-//     simulate) with distinct cache keys, the cache-churn picture.
+//   - mixed: a multi-endpoint script (two predicts, an analyze, and a
+//     simulate through each engine — exact, analytic, sampled) with
+//     distinct cache keys, the cache-churn picture.
 //
 // Usage:
 //
@@ -73,6 +74,12 @@ var scenarios = struct{ predictHot, mixed []struct{ path, body string } }{
 		{"/v1/predict", `{"kernel":"matmul","n":64,"tiles":[16,16,16],"cacheKB":64}`},
 		{"/v1/analyze", `{"kernel":"matmul","n":64,"tiles":[8,8,8]}`},
 		{"/v1/simulate", `{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4]}`},
+		// The same simulation through the other engines: analytic skips the
+		// trace walk (and handles sizes exact rejects), sampled estimates
+		// deterministically — both verify byte-for-byte like everything else.
+		{"/v1/simulate", `{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4],"engine":"analytic"}`},
+		{"/v1/simulate", `{"kernel":"matmul","n":256,"tiles":[32,32,32],"watchKB":[16],"engine":"analytic"}`},
+		{"/v1/simulate", `{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4],"engine":"sampled"}`},
 	},
 }
 

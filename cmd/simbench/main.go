@@ -9,11 +9,19 @@
 //   - end-to-end simulation of the tiled matmul n=64 workload (frozen
 //     Fenwick-tree scalar pipeline vs hierarchical-bitset batched pipeline),
 //   - the validate differential sweep, sequential scalar vs the batched
-//     pipeline on an 8-wide sharded worker pool.
+//     pipeline on an 8-wide sharded worker pool,
+//   - one end-to-end simulation of the workload per engine (exact,
+//     sampled, analytic).
+//
+// -smoke skips the artifact and instead pins the engine asymmetry on a
+// problem big enough to matter: the n=512 tiled matmul (~4.0e8 accesses)
+// through the exact simulator once versus the analytic model, failing
+// unless analytic is at least 100× faster.
 //
 // Usage:
 //
 //	simbench [-o BENCH_sim.json] [-benchtime 2s]
+//	simbench -smoke
 package main
 
 import (
@@ -70,6 +78,11 @@ type Artifact struct {
 	Sweep      Section `json:"sweep"`
 	SweepCases int     `json:"sweep_cases"`
 	SweepJ     int     `json:"sweep_parallelism"`
+	// Engines measures one end-to-end run of the workload per simulation
+	// engine: exact is the batched pipeline (the same measurement as
+	// Simulate.Batched), sampled runs at the auto rate, analytic evaluates
+	// the closed-form model and never touches the trace.
+	Engines map[string]Measurement `json:"engines"`
 }
 
 func measure(f func(b *testing.B), accesses int64) Measurement {
@@ -100,7 +113,11 @@ func section(scalar, batched func(b *testing.B), accesses int64) Section {
 func mainE() error {
 	out := flag.String("o", "BENCH_sim.json", "output artifact path")
 	benchtime := flag.String("benchtime", "2s", "per-measurement benchmark time (testing -benchtime syntax)")
+	smokeOnly := flag.Bool("smoke", false, "run the exact-vs-analytic speedup check instead of writing the artifact")
 	flag.Parse()
+	if *smokeOnly {
+		return smoke()
+	}
 	testing.Init()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		return err
@@ -152,6 +169,23 @@ func mainE() error {
 		},
 		w.Accesses)
 
+	fmt.Fprintln(os.Stderr, "measuring per-engine simulation ...")
+	a.Engines = map[string]Measurement{
+		"exact": a.Simulate.Batched,
+		"sampled": measure(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w.RunSampled(-1, 0)
+			}
+		}, w.Accesses),
+		"analytic": measure(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := w.RunAnalytic(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}, w.Accesses),
+	}
+
 	fmt.Fprintln(os.Stderr, "measuring differential sweep ...")
 	cases, err := simbench.SweepCases()
 	if err != nil {
@@ -199,6 +233,46 @@ func mainE() error {
 		a.Simulate.Scalar.NsPerAccess, a.Simulate.Batched.NsPerAccess, a.Simulate.Speedup)
 	fmt.Printf("  sweep:    %.1f -> %.1f ms (%.2fx at -j%d, %d cases)\n",
 		float64(a.Sweep.Scalar.NsPerOp)/1e6, float64(a.Sweep.Batched.NsPerOp)/1e6, a.Sweep.Speedup, a.SweepJ, a.SweepCases)
+	fmt.Printf("  engines:  exact %.2f ns/access, sampled %.2f ns/access, analytic %d ns/op\n",
+		a.Engines["exact"].NsPerAccess, a.Engines["sampled"].NsPerAccess, a.Engines["analytic"].NsPerOp)
+	return nil
+}
+
+// smoke times the exact simulator against the analytic model on the n=512
+// tiled matmul and fails below a 100× analytic advantage. The bar is
+// deliberately far under the observed gap (around four orders of
+// magnitude), so it trips on a real regression — the analytic engine
+// accidentally walking a trace — and not on machine noise.
+func smoke() error {
+	w, err := simbench.Matmul(512, []int64{64, 64, 64})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	exact := w.RunBatched(0)
+	exactD := time.Since(start)
+
+	best := time.Duration(1 << 62)
+	res := exact
+	for i := 0; i < 3; i++ {
+		start = time.Now()
+		if res, err = w.RunAnalytic(); err != nil {
+			return err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	if res.Accesses != exact.Accesses || res.Distinct != exact.Distinct {
+		return fmt.Errorf("smoke: analytic totals %d/%d differ from exact %d/%d",
+			res.Accesses, res.Distinct, exact.Accesses, exact.Distinct)
+	}
+	speedup := float64(exactD) / float64(best)
+	fmt.Printf("smoke matmul n=512 (%d accesses): exact %v, analytic %v — %.0fx\n",
+		w.Accesses, exactD.Round(time.Millisecond), best, speedup)
+	if speedup < 100 {
+		return fmt.Errorf("smoke: analytic speedup %.1fx is below the 100x bar", speedup)
+	}
 	return nil
 }
 

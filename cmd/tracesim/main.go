@@ -13,6 +13,15 @@
 //	tracesim -kernel matmul -n 64 -tiles 8,8,8 -l1-kb 4 -l2-kb 64
 //	tracesim -kernel matmul -n 64 -tiles 8,8,8 -dump trace.bin
 //	tracesim -replay trace.bin -cache-kb 16,64
+//	tracesim -kernel matmul -n 512 -tiles 64,64,64 -cache-kb 64 -engine analytic
+//	tracesim -replay trace.bin -cache-kb 16 -engine sampled -sample-log2 4
+//
+// -engine selects how miss counts are produced: exact (the default) walks
+// the trace through the full stack simulator, sampled walks it through the
+// SHARDS-style spatial sampler and reports estimates with a confidence
+// half-width, and analytic skips the trace entirely and evaluates the
+// compiled closed-form model — so it needs a generated kernel, not a
+// -replay file.
 package main
 
 import (
@@ -23,7 +32,10 @@ import (
 	"strings"
 
 	"repro/internal/cachesim"
+	"repro/internal/cachesim/analytic"
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/expr"
 	"repro/internal/trace"
 )
 
@@ -40,9 +52,11 @@ func main() {
 		dump    = flag.String("dump", "", "write the trace to this file and exit")
 		replay  = flag.String("replay", "", "replay a stored trace instead of generating one")
 		block   = flag.Int("block", 0, "trace block size in accesses (0 = default)")
+		engine  = flag.String("engine", "exact", "simulation engine: exact | analytic | sampled")
+		sLog2   = flag.Int("sample-log2", -1, "sampled engine: log2 of the sampling rate (-1 = auto from the address space)")
 	)
 	flag.Parse()
-	if err := run(*kernel, *n, *tiles, *cacheKB, *assoc, *line, *l1KB, *l2KB, *dump, *replay, *block); err != nil {
+	if err := run(*kernel, *n, *tiles, *cacheKB, *assoc, *line, *l1KB, *l2KB, *dump, *replay, *block, *engine, *sLog2); err != nil {
 		fmt.Fprintln(os.Stderr, "tracesim:", err)
 		os.Exit(1)
 	}
@@ -57,6 +71,10 @@ type traceSource struct {
 	siteNames []string
 	run       func(trace.Emit) error
 	runBlocks func(blockSize int, emit trace.EmitBlock) error
+	// analysis and env are set only for generated kernels; the analytic
+	// engine needs the compiled model, which a stored trace does not carry.
+	analysis *core.Analysis
+	env      expr.Env
 }
 
 func openSource(kernel string, n int64, tiles, replay string) (*traceSource, error) {
@@ -107,6 +125,10 @@ func openSource(kernel string, n int64, tiles, replay string) (*traceSource, err
 	if err != nil {
 		return nil, err
 	}
+	a, err := core.Analyze(nest)
+	if err != nil {
+		return nil, err
+	}
 	p, err := trace.Compile(nest, env)
 	if err != nil {
 		return nil, err
@@ -125,10 +147,16 @@ func openSource(kernel string, n int64, tiles, replay string) (*traceSource, err
 			p.RunBlocks(blockSize, emit)
 			return nil
 		},
+		analysis: a,
+		env:      env,
 	}, nil
 }
 
-func run(kernel string, n int64, tiles, cacheKB string, assoc int, line, l1KB, l2KB int64, dump, replay string, block int) error {
+func run(kernel string, n int64, tiles, cacheKB string, assoc int, line, l1KB, l2KB int64, dump, replay string, block int, engine string, sampleLog2 int) error {
+	eng, err := cachesim.ParseEngine(engine)
+	if err != nil {
+		return err
+	}
 	src, err := openSource(kernel, n, tiles, replay)
 	if err != nil {
 		return err
@@ -180,6 +208,56 @@ func run(kernel string, n int64, tiles, cacheKB string, assoc int, line, l1KB, l
 		}
 		watches = append(watches, experiments.KB(kb))
 	}
+
+	switch eng {
+	case cachesim.EngineAnalytic:
+		if assoc > 0 {
+			return fmt.Errorf("-assoc needs a trace walk; use -engine exact or sampled")
+		}
+		if src.analysis == nil {
+			return fmt.Errorf("engine analytic requires a generated kernel: a stored trace carries no model to evaluate")
+		}
+		res, info, err := analytic.Simulate(src.analysis, src.env, watches)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("analytic model: %d accesses, address space %d elements (no trace walked)\n",
+			res.Accesses, src.addrSpace)
+		fmt.Printf("accesses %d, distinct addresses (compulsory misses) %d\n", res.Accesses, res.Distinct)
+		for i, w := range res.Watches {
+			fmt.Printf("fully-assoc LRU %6d KB: %12d predicted misses (%.3f%%)\n",
+				w*experiments.ElemBytes/1024, res.Misses[i], 100*res.MissRatio(i))
+		}
+		printPerSite(res, src.siteNames)
+		fmt.Printf("model closed-form throughout: %v (%d stack-distance components)\n", info.Exact, info.Components)
+		return nil
+
+	case cachesim.EngineSampled:
+		if assoc > 0 {
+			return fmt.Errorf("-assoc needs the exact trace walk; use -engine exact")
+		}
+		k := sampleLog2
+		if k < 0 {
+			k = cachesim.DefaultLog2Rate(src.addrSpace)
+		}
+		ssim := cachesim.NewSampledSim(src.addrSpace, src.nSites, watches, k, 0)
+		if err := src.runBlocks(block, ssim.AccessBlock); err != nil {
+			return err
+		}
+		res, st := ssim.Results(), ssim.Stats()
+		bound := ssim.MissBound(0.05)
+		fmt.Printf("trace length %d, address space %d elements\n", res.Accesses, src.addrSpace)
+		fmt.Printf("sampling rate 2^-%d: kept %d of %d accesses (%d sampled addresses)\n",
+			st.Log2Rate, st.SampledAccesses, st.TotalAccesses, st.SampledDistinct)
+		fmt.Printf("accesses %d, distinct addresses (compulsory misses, estimated) %d\n", res.Accesses, res.Distinct)
+		for i, w := range res.Watches {
+			fmt.Printf("fully-assoc LRU %6d KB: %12d ± %d estimated misses (%.3f%%, 95%% envelope)\n",
+				w*experiments.ElemBytes/1024, res.Misses[i], bound, 100*res.MissRatio(i))
+		}
+		printPerSite(res, src.siteNames)
+		return nil
+	}
+
 	sim := cachesim.NewStackSim(src.addrSpace, src.nSites, watches)
 	var extra *cachesim.AssocCache
 	if assoc > 0 {
@@ -207,17 +285,21 @@ func run(kernel string, n int64, tiles, cacheKB string, assoc int, line, l1KB, l
 		fmt.Printf("%d-way LRU (line %d elems) %d KB: %d misses (%.3f%%)\n",
 			assoc, line, watches[0]*experiments.ElemBytes/1024, extra.Misses(), 100*extra.MissRatio())
 	}
+	printPerSite(res, src.siteNames)
+	fmt.Println("stack-distance histogram:")
+	fmt.Print(res.SDHistogramString())
+	return nil
+}
+
+func printPerSite(res cachesim.Results, names []string) {
 	fmt.Println("per-site misses (first watched size):")
-	for i, name := range src.siteNames {
+	for i, name := range names {
 		ps := res.PerSite[i]
 		if ps.Accesses == 0 {
 			continue
 		}
 		fmt.Printf("  %-40s %12d / %12d\n", name, ps.Misses[0], ps.Accesses)
 	}
-	fmt.Println("stack-distance histogram:")
-	fmt.Print(res.SDHistogramString())
-	return nil
 }
 
 func pct(a, b int64) float64 {

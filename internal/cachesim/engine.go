@@ -1,0 +1,50 @@
+package cachesim
+
+import "fmt"
+
+// Engine names one of the simulation strategies the pipeline can answer a
+// miss-count question with. The exact engine walks every access through the
+// LRU stack (StackSim); the sampled engine walks every access but pays
+// stack-distance bookkeeping only for a seeded hash-sample of the address
+// space (SampledSim), reporting estimates with a confidence bound; the
+// analytic engine (internal/cachesim/analytic) never touches the trace and
+// evaluates the paper's closed-form stack-distance model instead.
+//
+// The three engines answer the same question at different cost/fidelity
+// points, and the cross-engine differential harness in internal/validate
+// enforces their agreement: exact is ground truth, analytic must match it
+// exactly on the structured subscript class (and within the model's
+// published envelope elsewhere), and sampled must land inside its own
+// reported confidence interval.
+type Engine string
+
+const (
+	// EngineExact is the exact stack simulator: every access, every
+	// capacity, zero error. O(accesses) time.
+	EngineExact Engine = "exact"
+	// EngineAnalytic is the closed-form model: milliseconds regardless of
+	// trace length, exact on the structured class, bounded error elsewhere.
+	EngineAnalytic Engine = "analytic"
+	// EngineSampled is the hash-sampled simulator: O(accesses) trace walk
+	// but stack bookkeeping on a 2^-k address sample, with a Hoeffding-style
+	// bound on the estimate.
+	EngineSampled Engine = "sampled"
+)
+
+// Engines returns every engine, in the order they should be listed to
+// users: ground truth first, then the approximations.
+func Engines() []Engine {
+	return []Engine{EngineExact, EngineAnalytic, EngineSampled}
+}
+
+// ParseEngine validates an engine name from a request or flag. The empty
+// string selects the exact engine, preserving pre-engine request formats.
+func ParseEngine(s string) (Engine, error) {
+	switch Engine(s) {
+	case "":
+		return EngineExact, nil
+	case EngineExact, EngineAnalytic, EngineSampled:
+		return Engine(s), nil
+	}
+	return "", fmt.Errorf("cachesim: unknown engine %q (valid: exact, analytic, sampled)", s)
+}

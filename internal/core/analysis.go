@@ -225,6 +225,14 @@ func evalComponentValues(c *Component, env expr.Env) (componentValues, error) {
 		v.Inf = true
 		return v, nil
 	}
+	if count == 0 {
+		// No instances: the component contributes nothing at any capacity.
+		// Short-circuit before the SD/range expressions, which may be
+		// degenerate (e.g. a zero free range) in the same boundary regimes
+		// that zero the count.
+		v.Const = true
+		return v, nil
+	}
 	if c.SD.IsConst() {
 		v.Const = true
 		v.SD, err = c.SD.Base.Eval(env)

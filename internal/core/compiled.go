@@ -194,6 +194,12 @@ func (cc *compiledComponent) evalComponentValuesFrame(f *expr.Frame) (componentV
 		v.Inf = true
 		return v, nil
 	}
+	if count == 0 {
+		// Mirror evalComponentValues: a zero-instance component is constant
+		// zero regardless of its (possibly degenerate) SD expressions.
+		v.Const = true
+		return v, nil
+	}
 	if cc.constSD {
 		v.Const = true
 		v.SD, err = cc.base.Eval(f)

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/cachesim"
+	"repro/internal/cachesim/analytic"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/loopir"
@@ -168,22 +169,42 @@ type TileSearchResponse struct {
 	Phases     PhaseSummary          `json:"phases"`
 }
 
-// SimulateRequest runs the exact stack-distance simulator over the nest's
+// SimulateRequest runs a stack-distance simulation engine over the nest's
 // reference trace. Watches are cache capacities in elements (or watchKB in
-// kilobytes); perSite adds the per-reference-site breakdown.
+// kilobytes); perSite adds the per-reference-site breakdown. Engine selects
+// "exact" (default — full StackSim trace walk), "analytic" (closed-form
+// model evaluation, no trace) or "sampled" (SHARDS-style address-sampled
+// estimate with a reported confidence envelope).
 type SimulateRequest struct {
 	NestRequest
 	Watches []int64 `json:"watches,omitempty"`
 	WatchKB []int64 `json:"watchKB,omitempty"`
 	PerSite bool    `json:"perSite,omitempty"`
+	Engine  string  `json:"engine,omitempty"`
 }
 
-// SimulateResponse is the simulation outcome.
+// SamplingJSON reports the sampled engine's telemetry and error envelope.
+type SamplingJSON struct {
+	Log2Rate        int     `json:"log2Rate"` // sampling rate is 2^-log2Rate
+	Rate            float64 `json:"rate"`
+	Seed            uint64  `json:"seed"`
+	SampledAccesses int64   `json:"sampledAccesses"`
+	SampledDistinct int64   `json:"sampledDistinct"`
+	Confidence      float64 `json:"confidence"` // 1-δ of the bound below
+	MissBound       int64   `json:"missBound"`  // half-width around each miss estimate
+}
+
+// SimulateResponse is the simulation outcome. ModelExact is present only
+// for the analytic engine (whether every closed-form component is exact);
+// Sampling only for the sampled engine.
 type SimulateResponse struct {
-	Nest    string               `json:"nest"`
-	Env     map[string]int64     `json:"env"`
-	Length  int64                `json:"length"` // trace length in accesses
-	Results cachesim.ResultsJSON `json:"results"`
+	Nest       string               `json:"nest"`
+	Env        map[string]int64     `json:"env"`
+	Engine     string               `json:"engine"`
+	Length     int64                `json:"length"` // trace length in accesses
+	Results    cachesim.ResultsJSON `json:"results"`
+	ModelExact *bool                `json:"modelExact,omitempty"`
+	Sampling   *SamplingJSON        `json:"sampling,omitempty"`
 }
 
 // key builders: endpoint tag, canonical spec key, then the endpoint's
@@ -217,7 +238,7 @@ func tileSearchKey(spec *loopir.Spec, req *TileSearchRequest, cacheElems int64) 
 	return b.String()
 }
 
-func simulateKey(spec *loopir.Spec, watches []int64, perSite bool) string {
+func simulateKey(spec *loopir.Spec, watches []int64, perSite bool, eng cachesim.Engine) string {
 	var b strings.Builder
 	b.WriteString("simulate\x00")
 	b.WriteString(spec.Key())
@@ -230,6 +251,12 @@ func simulateKey(spec *loopir.Spec, watches []int64, perSite bool) string {
 	}
 	if perSite {
 		b.WriteString("\x00persite")
+	}
+	// An omitted engine and an explicit "exact" are the same computation
+	// and must share a key (and therefore cached bytes).
+	if eng != cachesim.EngineExact {
+		b.WriteString("\x00engine=")
+		b.WriteString(string(eng))
 	}
 	return b.String()
 }
@@ -317,10 +344,17 @@ func (s *Service) computeTileSearch(ctx context.Context, spec *loopir.Spec, req 
 	})
 }
 
-// computeSimulate is the /v1/simulate computation: compile the trace,
-// stream it through the batched stack simulator, report per-capacity
-// misses.
-func (s *Service) computeSimulate(ctx context.Context, spec *loopir.Spec, watches []int64, perSite bool) ([]byte, error) {
+// computeSimulate is the /v1/simulate computation, dispatched on the
+// engine: exact and sampled compile the trace and stream it through their
+// simulator (against the engine's own trace-length budget); analytic
+// evaluates the cached compiled model on a pooled frame — no trace, so no
+// length gate, and the same request that 400s under engine=exact at
+// n=2048 answers in microseconds of compute.
+func (s *Service) computeSimulate(ctx context.Context, spec *loopir.Spec, watches []int64, perSite bool, eng cachesim.Engine) ([]byte, error) {
+	s.engines[eng].Inc()
+	if eng == cachesim.EngineAnalytic {
+		return s.computeSimulateAnalytic(ctx, spec, watches, perSite)
+	}
 	nest, err := loopir.Parse(spec.Nest)
 	if err != nil {
 		return nil, err
@@ -333,15 +367,16 @@ func (s *Service) computeSimulate(ctx context.Context, spec *loopir.Spec, watche
 	if err != nil {
 		return nil, err
 	}
-	if length > s.cfg.MaxTraceLen {
-		return nil, fmt.Errorf("%w: trace length %d exceeds limit %d", errBadRequest, length, s.cfg.MaxTraceLen)
+	limit := s.cfg.MaxTraceLen
+	if eng == cachesim.EngineSampled {
+		limit = s.cfg.MaxSampledTraceLen
+	}
+	if length > limit {
+		return nil, fmt.Errorf("%w: trace length %d exceeds limit %d for engine %s", errBadRequest, length, limit, eng)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	sim := cachesim.NewStackSim(p.Size, len(p.Sites), watches)
-	p.RunBlocks(trace.DefaultBlockSize, sim.AccessBlock)
-	res := sim.Results()
 	var labels []string
 	if perSite {
 		labels = make([]string, len(p.Sites))
@@ -349,11 +384,65 @@ func (s *Service) computeSimulate(ctx context.Context, spec *loopir.Spec, watche
 			labels[i] = site.Key()
 		}
 	}
+	resp := SimulateResponse{
+		Nest:   nest.Name,
+		Env:    spec.Env,
+		Engine: string(eng),
+		Length: length,
+	}
+	if eng == cachesim.EngineSampled {
+		// Fixed seed and an address-space-derived rate: the estimate is a
+		// pure function of the request, so responses stay cacheable and
+		// byte-deterministic like every other endpoint's.
+		sim := cachesim.NewSampledSim(p.Size, len(p.Sites), watches, cachesim.DefaultLog2Rate(p.Size), 0)
+		p.RunBlocks(trace.DefaultBlockSize, sim.AccessBlock)
+		resp.Results = sim.Results().JSON(labels)
+		st := sim.Stats()
+		resp.Sampling = &SamplingJSON{
+			Log2Rate:        st.Log2Rate,
+			Rate:            st.Rate,
+			Seed:            st.Seed,
+			SampledAccesses: st.SampledAccesses,
+			SampledDistinct: st.SampledDistinct,
+			Confidence:      0.95,
+			MissBound:       sim.MissBound(0.05),
+		}
+	} else {
+		sim := cachesim.NewStackSim(p.Size, len(p.Sites), watches)
+		p.RunBlocks(trace.DefaultBlockSize, sim.AccessBlock)
+		resp.Results = sim.Results().JSON(labels)
+	}
+	return marshal(resp)
+}
+
+// computeSimulateAnalytic is the engine=analytic path: the analysis is
+// cached across requests (getAnalysis), so the steady state is a compiled-
+// program evaluation per watched capacity on a pooled frame.
+func (s *Service) computeSimulateAnalytic(ctx context.Context, spec *loopir.Spec, watches []int64, perSite bool) ([]byte, error) {
+	a, err := s.getAnalysis(ctx, spec.Nest)
+	if err != nil {
+		return nil, err
+	}
+	f := a.GetFrame()
+	defer a.PutFrame(f)
+	f.Bind(spec.ExprEnv())
+	res, info, err := analytic.SimulateFrame(a, f, watches)
+	if err != nil {
+		return nil, err
+	}
+	var labels []string
+	if perSite {
+		labels = analytic.SiteLabels(a.Nest)
+	}
 	return marshal(SimulateResponse{
-		Nest:    nest.Name,
-		Env:     spec.Env,
-		Length:  length,
-		Results: res.JSON(labels),
+		Nest:   a.Nest.Name,
+		Env:    spec.Env,
+		Engine: string(cachesim.EngineAnalytic),
+		// The model counts the same accesses the trace would emit; the
+		// cross-engine harness pins the equality.
+		Length:     res.Accesses,
+		Results:    res.JSON(labels),
+		ModelExact: &info.Exact,
 	})
 }
 
@@ -459,8 +548,12 @@ func (s *Service) plan(path string, body []byte) (string, func(context.Context) 
 		if err != nil {
 			return "", nil, err
 		}
-		return simulateKey(spec, watches, req.PerSite), func(ctx context.Context) ([]byte, error) {
-			return s.computeSimulate(ctx, spec, watches, req.PerSite)
+		eng, err := cachesim.ParseEngine(req.Engine)
+		if err != nil {
+			return "", nil, fmt.Errorf("%w: %v", errBadRequest, err)
+		}
+		return simulateKey(spec, watches, req.PerSite, eng), func(ctx context.Context) ([]byte, error) {
+			return s.computeSimulate(ctx, spec, watches, req.PerSite, eng)
 		}, nil
 	}
 	return "", nil, fmt.Errorf("%w: unknown endpoint %s", errBadRequest, path)

@@ -1,0 +1,232 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// Engine selection on /v1/simulate: taxonomy, response shape, per-engine
+// counters, cache-key behavior, and the large-problem contract (exact
+// rejects what analytic answers instantly).
+
+// TestSimulateEngineTaxonomy: every valid engine value answers 200 with the
+// engine echoed and its engine-specific fields present; anything else is a
+// 400 naming the valid set.
+func TestSimulateEngineTaxonomy(t *testing.T) {
+	svc, m := newTestService(t)
+	h := svc.Handler()
+	body := func(engine string) string {
+		if engine == "" {
+			return `{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4]}`
+		}
+		return fmt.Sprintf(`{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4],"engine":%q}`, engine)
+	}
+
+	for _, tc := range []struct {
+		engine   string
+		wantEcho string
+	}{
+		{"", "exact"},
+		{"exact", "exact"},
+		{"analytic", "analytic"},
+		{"sampled", "sampled"},
+	} {
+		w := post(t, h, "/v1/simulate", body(tc.engine))
+		if w.Code != http.StatusOK {
+			t.Fatalf("engine %q: status %d: %s", tc.engine, w.Code, w.Body.String())
+		}
+		var resp SimulateResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("engine %q: %v", tc.engine, err)
+		}
+		if resp.Engine != tc.wantEcho {
+			t.Errorf("engine %q echoed as %q, want %q", tc.engine, resp.Engine, tc.wantEcho)
+		}
+		if (resp.ModelExact != nil) != (tc.wantEcho == "analytic") {
+			t.Errorf("engine %q: modelExact presence wrong: %v", tc.engine, resp.ModelExact)
+		}
+		if (resp.Sampling != nil) != (tc.wantEcho == "sampled") {
+			t.Errorf("engine %q: sampling presence wrong: %+v", tc.engine, resp.Sampling)
+		}
+		if resp.Results.Accesses != 3*16*16*16 {
+			t.Errorf("engine %q: accesses %d, want %d", tc.engine, resp.Results.Accesses, 3*16*16*16)
+		}
+	}
+
+	for _, bad := range []string{"bogus", "Exact", "EXACT", "analytical"} {
+		w := post(t, h, "/v1/simulate", body(bad))
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("engine %q: status %d, want 400", bad, w.Code)
+		}
+		if !bytes.Contains(w.Body.Bytes(), []byte("valid: exact, analytic, sampled")) {
+			t.Errorf("engine %q: error does not name the valid engines: %s", bad, w.Body.String())
+		}
+	}
+
+	c := m.Counters()
+	// "" and "exact" share a cache key, so exact computed once; unknown
+	// engines never reach a computation.
+	if c["service.simulate.engine.exact"] != 1 ||
+		c["service.simulate.engine.analytic"] != 1 ||
+		c["service.simulate.engine.sampled"] != 1 {
+		t.Errorf("per-engine computation counters: exact=%d analytic=%d sampled=%d, want 1/1/1",
+			c["service.simulate.engine.exact"], c["service.simulate.engine.analytic"], c["service.simulate.engine.sampled"])
+	}
+}
+
+// TestSimulateEngineAgreement: on a small kernel the three engines answer
+// the same question — identical totals where the contract requires it
+// (the auto sampling rate is exact at this scale, analytic matches at a
+// footprint-covering capacity).
+func TestSimulateEngineAgreement(t *testing.T) {
+	svc, _ := newTestService(t)
+	get := func(engine string) SimulateResponse {
+		body := fmt.Sprintf(`{"kernel":"matmul","n":16,"tiles":[4,4,4],"watches":[1,1048576],"engine":%q}`, engine)
+		data, err := svc.Compute(context.Background(), "/v1/simulate", []byte(body))
+		if err != nil {
+			t.Fatalf("engine %s: %v", engine, err)
+		}
+		var resp SimulateResponse
+		if err := json.Unmarshal(data, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	exact, analytic, sampled := get("exact"), get("analytic"), get("sampled")
+	for _, r := range []SimulateResponse{analytic, sampled} {
+		if r.Results.Accesses != exact.Results.Accesses || r.Results.Distinct != exact.Results.Distinct {
+			t.Errorf("engine %s totals %d/%d differ from exact %d/%d",
+				r.Engine, r.Results.Accesses, r.Results.Distinct, exact.Results.Accesses, exact.Results.Distinct)
+		}
+	}
+	// Sampled at rate 1 (small address space) is bit-identical.
+	if sampled.Sampling == nil || sampled.Sampling.Log2Rate != 0 {
+		t.Fatalf("expected auto rate 1 at this scale, got %+v", sampled.Sampling)
+	}
+	for i := range exact.Results.Misses {
+		if sampled.Results.Misses[i] != exact.Results.Misses[i] {
+			t.Errorf("sampled misses[%d] = %d, exact %d", i, sampled.Results.Misses[i], exact.Results.Misses[i])
+		}
+	}
+	// Analytic at 1M elements (footprint is 3·16²) predicts compulsory-only.
+	last := len(analytic.Results.Misses) - 1
+	if analytic.Results.Misses[last] != exact.Results.Misses[last] {
+		t.Errorf("analytic at footprint capacity: %d, exact %d", analytic.Results.Misses[last], exact.Results.Misses[last])
+	}
+	if analytic.ModelExact == nil || !*analytic.ModelExact {
+		t.Errorf("matmul is in the structured class; modelExact = %v", analytic.ModelExact)
+	}
+}
+
+// TestSimulateSampledRate: a nest with a large address space engages a
+// non-trivial sampling rate over HTTP, with a positive reported bound.
+func TestSimulateSampledRate(t *testing.T) {
+	svc, _ := newTestService(t)
+	h := svc.Handler()
+	body := `{"nest":"nest big\narray A[N]\nfor r = 3 {\nfor i = N {\nS0: A[i] = 0\n}\n}\n","env":{"N":300000},"watches":[1024],"engine":"sampled"}`
+	w := post(t, h, "/v1/simulate", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp SimulateResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Sampling == nil || resp.Sampling.Log2Rate < 1 {
+		t.Fatalf("expected a non-trivial rate for a 300000-element space: %+v", resp.Sampling)
+	}
+	if resp.Sampling.SampledAccesses <= 0 || resp.Sampling.SampledAccesses >= resp.Results.Accesses {
+		t.Errorf("sampled %d of %d accesses", resp.Sampling.SampledAccesses, resp.Results.Accesses)
+	}
+	if resp.Sampling.MissBound <= 0 {
+		t.Errorf("expected a positive miss bound, got %d", resp.Sampling.MissBound)
+	}
+	if resp.Results.Accesses != 3*300000 {
+		t.Errorf("access total %d, want %d (counted, not estimated)", resp.Results.Accesses, 3*300000)
+	}
+	// The estimate is deterministic: a second request serves the same bytes
+	// (from cache or not).
+	w2 := post(t, h, "/v1/simulate", body)
+	if !bytes.Equal(w.Body.Bytes(), w2.Body.Bytes()) {
+		t.Error("sampled responses are not byte-deterministic")
+	}
+}
+
+// TestSimulateLargeProblemContract pins the headline asymmetry: the n=2048
+// matmul trace (3·2048³ ≈ 2.6e10 accesses) is over every walking engine's
+// budget — exact and sampled answer 400 — while analytic, which never
+// builds the trace, answers from the compiled model in well under the 10ms
+// budget once the analysis is cached.
+func TestSimulateLargeProblemContract(t *testing.T) {
+	svc, _ := newTestService(t)
+	h := svc.Handler()
+	body := func(engine string) string {
+		return fmt.Sprintf(`{"kernel":"matmul","n":2048,"tiles":[64,64,64],"watchKB":[16,64],"engine":%q}`, engine)
+	}
+	for _, eng := range []string{"exact", "sampled"} {
+		w := post(t, h, "/v1/simulate", body(eng))
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("engine %s on n=2048: status %d, want 400 (trace budget)", eng, w.Code)
+		}
+	}
+	w := post(t, h, "/v1/simulate", body("analytic"))
+	if w.Code != http.StatusOK {
+		t.Fatalf("analytic on n=2048: status %d: %s", w.Code, w.Body.String())
+	}
+	var resp SimulateResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(3) * 2048 * 2048 * 2048; resp.Length != want {
+		t.Errorf("length %d, want %d", resp.Length, want)
+	}
+
+	// Steady state (analysis cached, response cache bypassed via Compute):
+	// best of three well under 10ms.
+	req := []byte(body("analytic"))
+	best := time.Duration(1 << 62)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if _, err := svc.Compute(context.Background(), "/v1/simulate", req); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	if best > 10*time.Millisecond {
+		t.Errorf("analytic n=2048 steady-state compute took %v, want < 10ms", best)
+	}
+	t.Logf("analytic n=2048 steady-state compute: %v", best)
+}
+
+// TestSimulateEngineKeyedCache: engines are distinct cache keys, but an
+// omitted engine and an explicit exact share one.
+func TestSimulateEngineKeyedCache(t *testing.T) {
+	svc, m := newTestService(t)
+	h := svc.Handler()
+	base := `{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[4]`
+	r1 := post(t, h, "/v1/simulate", base+`}`)
+	r2 := post(t, h, "/v1/simulate", base+`,"engine":"exact"}`)
+	r3 := post(t, h, "/v1/simulate", base+`,"engine":"analytic"}`)
+	for i, r := range []*bytes.Buffer{r1.Body, r2.Body, r3.Body} {
+		if r.Len() == 0 {
+			t.Fatalf("response %d empty", i)
+		}
+	}
+	if !bytes.Equal(r1.Body.Bytes(), r2.Body.Bytes()) {
+		t.Error("omitted and explicit exact engine served different bytes")
+	}
+	if bytes.Equal(r1.Body.Bytes(), r3.Body.Bytes()) {
+		t.Error("exact and analytic engines served identical bytes (keys collided?)")
+	}
+	c := m.Counters()
+	if c["service.cache.misses"] != 2 || c["service.cache.hits"] != 1 {
+		t.Errorf("cache misses=%d hits=%d, want 2/1", c["service.cache.misses"], c["service.cache.hits"])
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cachesim"
 	"repro/internal/core"
 	"repro/internal/loopir"
 	"repro/internal/obs"
@@ -61,8 +62,14 @@ type Config struct {
 	// coalesced result; 0 means 30s. An expired wait answers 504.
 	RequestTimeout time.Duration
 	// MaxTraceLen rejects /v1/simulate requests whose reference trace
-	// exceeds this many accesses; 0 means 1<<28.
+	// exceeds this many accesses; 0 means 1<<28. It gates the exact engine
+	// only: the sampled engine walks the trace without simulator state per
+	// access and gets the larger MaxSampledTraceLen budget, and the
+	// analytic engine never generates a trace at all.
 	MaxTraceLen int64
+	// MaxSampledTraceLen is MaxTraceLen's counterpart for engine=sampled;
+	// 0 means 32 × MaxTraceLen.
+	MaxSampledTraceLen int64
 	// Obs receives the service instruments (see README's Observability
 	// section); nil disables instrumentation.
 	Obs *obs.Metrics
@@ -87,6 +94,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxTraceLen <= 0 {
 		c.MaxTraceLen = 1 << 28
 	}
+	if c.MaxSampledTraceLen <= 0 {
+		c.MaxSampledTraceLen = 32 * c.MaxTraceLen
+	}
 	return c
 }
 
@@ -103,6 +113,10 @@ type Service struct {
 
 	total *obs.Counter // "service.requests"
 	eps   map[string]*epStats
+	// engines counts /v1/simulate computations per engine
+	// ("service.simulate.engine.<e>"): computations, not requests — cache
+	// hits and coalesced waiters reuse the leader's computation.
+	engines map[cachesim.Engine]*obs.Counter
 }
 
 // epStats is one endpoint's pre-resolved instruments.
@@ -135,6 +149,10 @@ func New(cfg Config) *Service {
 			rejected: m.Counter("service." + ep + ".rejected"),
 			latency:  m.Timer("service." + ep + ".latency"),
 		}
+	}
+	s.engines = map[cachesim.Engine]*obs.Counter{}
+	for _, eng := range cachesim.Engines() {
+		s.engines[eng] = m.Counter("service.simulate.engine." + string(eng))
 	}
 	return s
 }

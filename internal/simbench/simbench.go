@@ -7,16 +7,23 @@ package simbench
 
 import (
 	"repro/internal/cachesim"
+	"repro/internal/cachesim/analytic"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/expr"
 	"repro/internal/trace"
 	"repro/internal/validate"
 )
 
-// Workload is one compiled trace-simulation problem.
+// Workload is one compiled trace-simulation problem. Analysis and Env
+// carry the compiled closed-form model alongside the trace program, so the
+// same workload can be played through every engine (exact, sampled,
+// analytic).
 type Workload struct {
 	Name     string
 	Prog     *trace.Program
+	Analysis *core.Analysis
+	Env      expr.Env
 	Accesses int64
 	Watches  []int64
 }
@@ -27,6 +34,10 @@ type Workload struct {
 // accesses — large enough to swamp per-run setup, small enough for CI).
 func Matmul(n int64, tiles []int64) (*Workload, error) {
 	nest, env, err := experiments.BuildKernel("matmul", n, tiles)
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.Analyze(nest)
 	if err != nil {
 		return nil, err
 	}
@@ -41,6 +52,8 @@ func Matmul(n int64, tiles []int64) (*Workload, error) {
 	return &Workload{
 		Name:     "matmul-n64",
 		Prog:     p,
+		Analysis: a,
+		Env:      env,
 		Accesses: total,
 		Watches:  []int64{experiments.KB(16), experiments.KB(64)},
 	}, nil
@@ -63,6 +76,25 @@ func (w *Workload) RunBatched(blockSize int) cachesim.Results {
 	sim := cachesim.NewStackSim(w.Prog.Size, len(w.Prog.Sites), w.Watches)
 	w.Prog.RunBlocks(blockSize, sim.AccessBlock)
 	return sim.Results()
+}
+
+// RunSampled simulates the workload through the SHARDS-style sampled
+// engine. log2Rate below 0 picks the default rate for the address space;
+// seed 0 selects cachesim.DefaultSampleSeed.
+func (w *Workload) RunSampled(log2Rate int, seed uint64) cachesim.Results {
+	if log2Rate < 0 {
+		log2Rate = cachesim.DefaultLog2Rate(w.Prog.Size)
+	}
+	sim := cachesim.NewSampledSim(w.Prog.Size, len(w.Prog.Sites), w.Watches, log2Rate, seed)
+	w.Prog.RunBlocks(0, sim.AccessBlock)
+	return sim.Results()
+}
+
+// RunAnalytic evaluates the workload's closed-form model at the watched
+// capacities — no trace is generated or walked.
+func (w *Workload) RunAnalytic() (cachesim.Results, error) {
+	res, _, err := analytic.Simulate(w.Analysis, w.Env, w.Watches)
+	return res, err
 }
 
 // SweepCases builds the differential-sweep benchmark corpus: the tiled

@@ -22,6 +22,29 @@ func TestWorkloadPathsAgree(t *testing.T) {
 	}
 }
 
+// TestEngineWorkloadsAgree plays the same workload through the sampled and
+// analytic engines and checks them against the exact pipeline where the
+// contract is exact: totals always; sampled misses at rate 1 (the default
+// for this sub-64K address space) bit-for-bit.
+func TestEngineWorkloadsAgree(t *testing.T) {
+	w, err := Matmul(16, []int64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := w.RunBatched(0)
+	sampled := w.RunSampled(-1, 0)
+	if !reflect.DeepEqual(exact.Misses, sampled.Misses) || exact.Distinct != sampled.Distinct {
+		t.Fatalf("sampled at rate 1 diverges from exact:\nexact   %+v\nsampled %+v", exact, sampled)
+	}
+	an, err := w.RunAnalytic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Accesses != exact.Accesses || an.Distinct != exact.Distinct {
+		t.Fatalf("analytic totals %d/%d, exact %d/%d", an.Accesses, an.Distinct, exact.Accesses, exact.Distinct)
+	}
+}
+
 // TestSweepPathsAgree checks the sweep corpus through both pipelines at
 // two pool widths.
 func TestSweepPathsAgree(t *testing.T) {
@@ -81,6 +104,31 @@ func BenchmarkSimBatched(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w.RunBatched(0)
+	}
+	reportPerAccess(b, w.Accesses)
+}
+
+// BenchmarkSimSampled is the sampled engine on the benchmark workload at
+// the auto rate (rate 1 for this address space, so this measures the
+// sampling filter's overhead on top of BenchmarkSimBatched).
+func BenchmarkSimSampled(b *testing.B) {
+	w := workload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.RunSampled(-1, 0)
+	}
+	reportPerAccess(b, w.Accesses)
+}
+
+// BenchmarkSimAnalytic is the closed-form engine on the benchmark
+// workload: per-op cost is independent of the trace length.
+func BenchmarkSimAnalytic(b *testing.B) {
+	w := workload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.RunAnalytic(); err != nil {
+			b.Fatal(err)
+		}
 	}
 	reportPerAccess(b, w.Accesses)
 }

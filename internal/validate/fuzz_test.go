@@ -1,0 +1,181 @@
+package validate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/cachesim/analytic"
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/nestgen"
+	"repro/internal/trace"
+)
+
+// Fuzz targets for the cross-engine contract: arbitrary generator seeds and
+// engine parameters must never panic, and the capacity-independent halves
+// of the results (accesses, compulsory counts) plus the structural
+// invariants (non-negative, bounded by accesses, monotone in capacity)
+// must hold for every engine on every accepted nest. Rejected nests are
+// fine; inconsistent acceptance across engines is not. Both targets run in
+// make check's fuzz smoke and are fuzzable standalone:
+//
+//	go test -run '^$' -fuzz '^FuzzAnalyticVsExact$' ./internal/validate
+
+// fuzzNest regenerates a corpus-style nest from fuzzed inputs, or reports
+// that the input is rejected. The trace is bounded so a single case stays
+// fast under the fuzzer.
+func fuzzNest(seed int64, shape uint8) (*core.Analysis, *trace.Program, expr.Env, bool) {
+	var cfg nestgen.Config
+	switch shape % 4 {
+	case 1:
+		cfg = nestgen.Config{MaxDepth: 3, MaxArrays: 3, MaxTrip: 8}
+	case 2:
+		cfg = nestgen.Config{Imperfect: true}
+	case 3:
+		cfg = nestgen.Config{Tiled: true}
+	}
+	r := rand.New(rand.NewSource(seed))
+	nest, env, err := nestgen.Generate(r, int(shape), cfg)
+	if err != nil {
+		return nil, nil, nil, false
+	}
+	a, err := core.Analyze(nest)
+	if err != nil {
+		return nil, nil, nil, false
+	}
+	p, err := trace.Compile(nest, env)
+	if err != nil {
+		return nil, nil, nil, false
+	}
+	if n, err := p.Length(); err != nil || n > 1<<20 {
+		return nil, nil, nil, false
+	}
+	return a, p, env, true
+}
+
+// FuzzAnalyticVsExact: the analytic engine on any accepted nest must agree
+// with the exact simulator on accesses and compulsory counts, produce
+// misses within [0, accesses] that are monotone non-increasing in capacity,
+// and coincide exactly once the capacity covers the footprint.
+func FuzzAnalyticVsExact(f *testing.F) {
+	for shape := uint8(0); shape < 4; shape++ {
+		f.Add(int64(20260805), shape)
+		f.Add(int64(1), shape)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, shape uint8) {
+		a, p, env, ok := fuzzNest(seed, shape)
+		if !ok {
+			return
+		}
+		// Ascending watches ending beyond the footprint (p.Size bounds the
+		// distinct-address count from above).
+		watches := []int64{1, 16, 256, p.Size + 1}
+		sim := cachesim.NewStackSim(p.Size, len(p.Sites), watches)
+		p.RunBlocks(0, sim.AccessBlock)
+		er := sim.Results()
+
+		ar, info, err := analytic.Simulate(a, env, watches)
+		if err != nil {
+			t.Fatalf("exact engine accepted but analytic rejected (seed %d shape %d): %v", seed, shape, err)
+		}
+		if info.Components <= 0 {
+			t.Fatalf("accepted nest with %d components", info.Components)
+		}
+		if ar.Accesses != er.Accesses {
+			t.Fatalf("accesses %d vs exact %d (seed %d shape %d)", ar.Accesses, er.Accesses, seed, shape)
+		}
+		if ar.Distinct != er.Distinct {
+			t.Fatalf("compulsory %d vs exact %d (seed %d shape %d)", ar.Distinct, er.Distinct, seed, shape)
+		}
+		prev := int64(-1)
+		for wi, w := range watches {
+			m := ar.Misses[wi]
+			if m < 0 || m > ar.Accesses {
+				t.Fatalf("capacity %d: misses %d outside [0, %d] (seed %d shape %d)", w, m, ar.Accesses, seed, shape)
+			}
+			if m < ar.Distinct {
+				t.Fatalf("capacity %d: misses %d below compulsory %d (seed %d shape %d)", w, m, ar.Distinct, seed, shape)
+			}
+			if prev >= 0 && m > prev {
+				t.Fatalf("misses grew with capacity: %d at %d after %d (seed %d shape %d)", m, w, prev, seed, shape)
+			}
+			prev = m
+		}
+		// Beyond the footprint only compulsory misses remain — a theorem for
+		// the simulator (stack distances never exceed the distinct count)
+		// and required of the model in the structured class.
+		last := len(watches) - 1
+		if er.Misses[last] != er.Distinct {
+			t.Fatalf("exact misses %d beyond footprint, distinct %d (seed %d shape %d)",
+				er.Misses[last], er.Distinct, seed, shape)
+		}
+		if info.Exact && ar.Misses[last] != er.Distinct {
+			t.Fatalf("footprint capacity %d: analytic %d, want compulsory %d (seed %d shape %d)",
+				watches[last], ar.Misses[last], er.Distinct, seed, shape)
+		}
+	})
+}
+
+// FuzzSampledBounds: the sampled engine at any rate must count (not
+// estimate) total accesses, keep estimates within [compulsory-free, total]
+// bounds and monotone in capacity, report a sane Hoeffding envelope, and
+// degenerate to the exact simulator bit for bit at rate 1.
+func FuzzSampledBounds(f *testing.F) {
+	for shape := uint8(0); shape < 4; shape++ {
+		f.Add(int64(20260805), shape, uint8(0))
+		f.Add(int64(20260805), shape, uint8(2))
+		f.Add(int64(7), shape, uint8(5))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, shape, rate uint8) {
+		_, p, _, ok := fuzzNest(seed, shape)
+		if !ok {
+			return
+		}
+		k := int(rate % 8)
+		watches := []int64{1, 64, 4096}
+		sim := cachesim.NewSampledSim(p.Size, len(p.Sites), watches, k, 0)
+		p.RunBlocks(0, sim.AccessBlock)
+		sr := sim.Results()
+		st := sim.Stats()
+		bound := sim.MissBound(0.05)
+
+		exact := cachesim.NewStackSim(p.Size, len(p.Sites), watches)
+		p.RunBlocks(0, exact.AccessBlock)
+		er := exact.Results()
+
+		if sr.Accesses != er.Accesses {
+			t.Fatalf("sampled access total %d vs counted %d (seed %d shape %d k %d)", sr.Accesses, er.Accesses, seed, shape, k)
+		}
+		if st.SampledAccesses > st.TotalAccesses || st.SampledAccesses < 0 {
+			t.Fatalf("sampled %d of %d accesses (seed %d shape %d k %d)", st.SampledAccesses, st.TotalAccesses, seed, shape, k)
+		}
+		if bound < 0 || bound > sr.Accesses {
+			t.Fatalf("bound %d outside [0, %d] (seed %d shape %d k %d)", bound, sr.Accesses, seed, shape, k)
+		}
+		prev := int64(-1)
+		for wi, w := range watches {
+			m := sr.Misses[wi]
+			if m < 0 || m > sr.Accesses {
+				t.Fatalf("capacity %d: estimate %d outside [0, %d] (seed %d shape %d k %d)", w, m, sr.Accesses, seed, shape, k)
+			}
+			if prev >= 0 && m > prev {
+				t.Fatalf("estimate grew with capacity: %d at %d after %d (seed %d shape %d k %d)", m, w, prev, seed, shape, k)
+			}
+			prev = m
+		}
+		if k == 0 {
+			if bound != 0 {
+				t.Fatalf("rate-1 bound %d, want 0", bound)
+			}
+			if sr.Distinct != er.Distinct {
+				t.Fatalf("rate-1 distinct %d vs %d", sr.Distinct, er.Distinct)
+			}
+			for wi := range watches {
+				if sr.Misses[wi] != er.Misses[wi] {
+					t.Fatalf("rate-1 misses[%d] %d vs %d (seed %d shape %d)", wi, sr.Misses[wi], er.Misses[wi], seed, shape)
+				}
+			}
+		}
+	})
+}

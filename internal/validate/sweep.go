@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/cachesim"
 	"repro/internal/core"
 	"repro/internal/expr"
 	"repro/internal/obs"
@@ -26,14 +27,28 @@ type SweepOptions struct {
 	// "simulate.total" timings. Instruments are atomic, so shards aggregate
 	// exactly: counter totals are independent of Parallelism.
 	Obs *obs.Metrics
+	// Engine selects the simulation engine the predictions are compared
+	// against: exact (default) walks the whole trace through StackSim,
+	// sampled estimates from a SHARDS-style address sample, and analytic
+	// evaluates the closed-form model itself (so Predicted == Simulated by
+	// construction — useful to exercise the analytic plumbing under the
+	// sweep's parallelism and comparison shape).
+	Engine cachesim.Engine
 	// Scalar selects the per-access reference pipeline (trace.RunScalar +
-	// StackSim.Access) instead of the batched one. It exists for the
-	// benchmark baseline and for differential testing of the batched path
-	// itself; results are identical either way.
+	// ReferenceSim.Access) instead of the batched one for the exact engine.
+	// It exists for the benchmark baseline and for differential testing of
+	// the batched path itself; results are identical either way. Ignored by
+	// the sampled and analytic engines.
 	Scalar bool
 	// BlockSize overrides the trace block size for the batched pipeline;
 	// 0 means trace.DefaultBlockSize.
 	BlockSize int
+	// SampleLog2Rate and SampleSeed configure the sampled engine: the
+	// sampling rate is 2^-SampleLog2Rate (0 falls back to
+	// cachesim.DefaultLog2Rate for the nest's address space) and seed 0
+	// selects cachesim.DefaultSampleSeed.
+	SampleLog2Rate int
+	SampleSeed     uint64
 }
 
 // RunSweep cross-checks every case at every watched capacity, distributing

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/cachesim"
+	"repro/internal/cachesim/analytic"
 	"repro/internal/core"
 	"repro/internal/expr"
 	"repro/internal/obs"
@@ -84,33 +85,17 @@ func RunObserved(a *core.Analysis, env expr.Env, watches []int64, m *obs.Metrics
 }
 
 // runOne is the shared body of RunObserved and RunSweep shards: simulate
-// once, compare at every watched capacity.
+// once through the selected engine, compare at every watched capacity.
 func runOne(a *core.Analysis, env expr.Env, watches []int64, m *obs.Metrics, opt SweepOptions) ([]Comparison, error) {
-	sw := m.Timer("simulate.total").Start()
-	p, err := trace.Compile(a.Nest, env)
+	res, err := simulateOne(a, env, watches, m, opt)
 	if err != nil {
 		return nil, err
 	}
-	var res cachesim.Results
-	if opt.Scalar {
-		// The frozen pre-batching pipeline: per-access emission into the
-		// Fenwick-tree reference simulator. Kept both as a benchmark
-		// baseline and as an independent implementation to diff against.
-		ref := cachesim.NewReferenceSim(p.Size, len(p.Sites), watches)
-		p.RunScalar(ref.Access)
-		res = ref.Results()
-		ref.FlushMetrics(m)
-	} else {
-		sim := cachesim.NewStackSim(p.Size, len(p.Sites), watches)
-		p.RunBlocks(opt.BlockSize, sim.AccessBlock)
-		res = sim.Results()
-		sim.FlushMetrics(m)
-	}
-	sw.Stop()
 
 	// Bind the environment into one frame and reuse it across the capacity
 	// sweep: the per-capacity predictions share every expression evaluation.
 	f := a.SymTab().FrameOf(env)
+	sites := a.Nest.Sites() // trace.Compile assigns site ids in this order
 	var out []Comparison
 	for wi, cap := range watches {
 		rep, err := a.PredictMissesFrame(f, cap)
@@ -129,7 +114,7 @@ func runOne(a *core.Analysis, env expr.Env, watches []int64, m *obs.Metrics, opt
 				cmp.PredictedCompulsory += d.Count
 			}
 		}
-		for si, site := range p.Sites {
+		for si, site := range sites {
 			cmp.Sites = append(cmp.Sites, SiteComparison{
 				SiteKey:   site.Key(),
 				Accesses:  res.PerSite[si].Accesses,
@@ -140,6 +125,51 @@ func runOne(a *core.Analysis, env expr.Env, watches []int64, m *obs.Metrics, opt
 		out = append(out, cmp)
 	}
 	return out, nil
+}
+
+// simulateOne produces the "Simulated" side of a comparison through the
+// engine opt selects, timed under "simulate.total" with the engine's
+// counters flushed into m.
+func simulateOne(a *core.Analysis, env expr.Env, watches []int64, m *obs.Metrics, opt SweepOptions) (cachesim.Results, error) {
+	sw := m.Timer("simulate.total").Start()
+	defer sw.Stop()
+	switch opt.Engine {
+	case cachesim.EngineAnalytic:
+		// No trace at all: the closed form is the simulated side.
+		res, _, err := analytic.Simulate(a, env, watches)
+		return res, err
+	case cachesim.EngineSampled:
+		p, err := trace.Compile(a.Nest, env)
+		if err != nil {
+			return cachesim.Results{}, err
+		}
+		k := opt.SampleLog2Rate
+		if k <= 0 {
+			k = cachesim.DefaultLog2Rate(p.Size)
+		}
+		sim := cachesim.NewSampledSim(p.Size, len(p.Sites), watches, k, opt.SampleSeed)
+		p.RunBlocks(opt.BlockSize, sim.AccessBlock)
+		sim.FlushMetrics(m)
+		return sim.Results(), nil
+	default: // cachesim.EngineExact
+		p, err := trace.Compile(a.Nest, env)
+		if err != nil {
+			return cachesim.Results{}, err
+		}
+		if opt.Scalar {
+			// The frozen pre-batching pipeline: per-access emission into the
+			// Fenwick-tree reference simulator. Kept both as a benchmark
+			// baseline and as an independent implementation to diff against.
+			ref := cachesim.NewReferenceSim(p.Size, len(p.Sites), watches)
+			p.RunScalar(ref.Access)
+			ref.FlushMetrics(m)
+			return ref.Results(), nil
+		}
+		sim := cachesim.NewStackSim(p.Size, len(p.Sites), watches)
+		p.RunBlocks(opt.BlockSize, sim.AccessBlock)
+		sim.FlushMetrics(m)
+		return sim.Results(), nil
+	}
 }
 
 // Format renders comparisons as an aligned report.

@@ -25,16 +25,27 @@ base="http://$addr"
 # Readiness.
 curl -sf "$base/healthz" >/dev/null || { echo "serve_check: healthz failed"; exit 1; }
 
-# One request per endpoint must answer 200.
+# One request per endpoint must answer the expected status (200 unless
+# stated otherwise).
 check() {
-    path=$1; body=$2
+    want=$1; path=$2; body=$3
     code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d "$body" "$base$path")
-    [ "$code" = 200 ] || { echo "serve_check: POST $path -> $code"; exit 1; }
+    [ "$code" = "$want" ] || { echo "serve_check: POST $path -> $code (want $want)"; exit 1; }
 }
-check /v1/analyze    '{"kernel":"matmul","n":16,"tiles":[4,4,4]}'
-check /v1/predict    '{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4}'
-check /v1/tilesearch '{"kernel":"matmul","n":32,"tiles":[4,4,4],"cacheKB":4,"dims":{"TI":32,"TJ":32,"TK":32}}'
-check /v1/simulate   '{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4]}'
+check 200 /v1/analyze    '{"kernel":"matmul","n":16,"tiles":[4,4,4]}'
+check 200 /v1/predict    '{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4}'
+check 200 /v1/tilesearch '{"kernel":"matmul","n":32,"tiles":[4,4,4],"cacheKB":4,"dims":{"TI":32,"TJ":32,"TK":32}}'
+
+# Every simulation engine must answer 200 on the same problem; an unknown
+# engine is a 400, and the analytic engine answers the n=2048 problem that
+# the exact engine's trace budget rejects.
+for engine in exact analytic sampled; do
+    check 200 /v1/simulate "{\"kernel\":\"matmul\",\"n\":16,\"tiles\":[4,4,4],\"watchKB\":[1,4],\"engine\":\"$engine\"}"
+done
+check 200 /v1/simulate '{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4]}'
+check 400 /v1/simulate '{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4],"engine":"bogus"}'
+check 400 /v1/simulate '{"kernel":"matmul","n":2048,"tiles":[64,64,64],"watchKB":[16],"engine":"exact"}'
+check 200 /v1/simulate '{"kernel":"matmul","n":2048,"tiles":[64,64,64],"watchKB":[16],"engine":"analytic"}'
 
 # Graceful drain: SIGTERM must produce a clean exit and the drain line.
 kill -TERM "$pid"
