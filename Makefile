@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet race fuzz-smoke bench bench-sim bench-eval bench-serve serve-check cover golden
+.PHONY: all build test check vet race fuzz-smoke bench bench-sim bench-eval bench-assoc bench-serve serve-check cover golden
 
 all: build
 
@@ -22,11 +22,13 @@ race:
 
 # A 10-second no-panic fuzz of AnalyzeWithOptions + Search on top of the
 # checked-in seed corpus, plus the cross-engine simulation invariants:
-# analytic vs exact agreement and the sampled estimator's bounds.
+# analytic vs exact agreement, the sampled estimator's bounds, and the
+# set-associative simulator's batched-vs-scalar equivalence.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzAnalyzeNoPanic$$' -fuzztime 10s ./internal/tilesearch
 	$(GO) test -run '^$$' -fuzz '^FuzzAnalyticVsExact$$' -fuzztime 10s ./internal/validate
 	$(GO) test -run '^$$' -fuzz '^FuzzSampledBounds$$' -fuzztime 10s ./internal/validate
+	$(GO) test -run '^$$' -fuzz '^FuzzAssocBlockVsScalar$$' -fuzztime 10s ./internal/cachesim
 
 check: vet race fuzz-smoke
 
@@ -51,6 +53,15 @@ bench-sim:
 bench-eval:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/evalbench
 	$(GO) run ./cmd/evalbench -o BENCH_eval.json
+
+# Set-associative accuracy benchmarks: the conflict-aware model against the
+# AssocCache ground truth across an associativity sweep, plus ns/prediction
+# for both models, written to the committed BENCH_assoc.json artifact. The
+# go-test benchmarks and the artifact generator share internal/simbench, so
+# CI's 1-iteration simbench smoke exercises these paths too.
+bench-assoc:
+	$(GO) test -run '^$$' -bench '^BenchmarkAssoc' -benchmem ./internal/simbench
+	$(GO) run ./cmd/simbench -assoc -o BENCH_assoc.json
 
 # Serving-layer load test: 32 closed-loop clients against an in-process
 # server, every response verified byte-for-byte against the direct library

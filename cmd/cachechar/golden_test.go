@@ -63,6 +63,26 @@ func TestGoldenAdhocText(t *testing.T) {
 	golden(t, "adhoc_matmul_n64.txt", buf.Bytes())
 }
 
+// TestGoldenAdhocDirectMappedText pins the -ways output: the ad-hoc
+// prediction plus the conflict-aware line for a direct-mapped geometry with
+// 4-element lines.
+func TestGoldenAdhocDirectMappedText(t *testing.T) {
+	var buf bytes.Buffer
+	o := options{
+		kernel:    "matmul",
+		n:         64,
+		tiles:     "8,8,8",
+		cacheKB:   "4",
+		jobs:      1,
+		ways:      1,
+		lineElems: 4,
+	}
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "adhoc_matmul_n64_dm.txt", buf.Bytes())
+}
+
 // TestGoldenSweepText pins the multi-capacity sweep table at -j 1.
 func TestGoldenSweepText(t *testing.T) {
 	var buf bytes.Buffer

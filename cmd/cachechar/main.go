@@ -65,6 +65,7 @@ type options struct {
 	cacheKB    string
 	jobs       int
 	lineElems  int64
+	ways       int64
 	defines    []string
 	reportPath string
 	debugAddr  string
@@ -87,6 +88,7 @@ func main() {
 	flag.StringVar(&o.cacheKB, "cache-kb", "64", "cache size(s) in KB of doubles, comma-separated")
 	flag.IntVar(&o.jobs, "j", runtime.GOMAXPROCS(0), "parallel evaluation workers for capacity sweeps")
 	flag.Int64Var(&o.lineElems, "line", 0, "also predict with the spatial model at this line size (elements)")
+	flag.Int64Var(&o.ways, "ways", 0, "also predict with the conflict-aware model at this associativity (-line is the line size; 0 = skip)")
 	flag.StringVar(&o.reportPath, "report", "", "write a RunReport JSON artifact to this path")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	flag.Var(&defines, "D", "symbol binding name=value for -file nests (repeatable)")
@@ -254,6 +256,9 @@ func run(w io.Writer, o options) error {
 		if o.lineElems > 0 {
 			return fmt.Errorf("-line supports a single -cache-kb value")
 		}
+		if o.ways > 0 {
+			return fmt.Errorf("-ways supports a single -cache-kb value")
+		}
 		if err := capacitySweep(w, a, nest, env, kbs, caps, o.jobs, o.simulate, m); err != nil {
 			return err
 		}
@@ -293,6 +298,19 @@ func run(w io.Writer, o options) error {
 		}
 		fmt.Fprintf(w, "spatial model (%d-element lines): %d misses (%.3f%%)\n",
 			o.lineElems, lrep.Total, 100*float64(lrep.Total)/float64(lrep.Accesses))
+	}
+	if o.ways > 0 {
+		cfg := core.CacheConfig{CapacityElems: cache, Ways: o.ways, LineElems: o.lineElems}
+		crep, err := a.PredictMissesConfig(env, cfg)
+		if err != nil {
+			return err
+		}
+		l := o.lineElems
+		if l <= 0 {
+			l = 1
+		}
+		fmt.Fprintf(w, "conflict-aware model (%d-way, %d-element lines): %d misses (%.3f%%)\n",
+			o.ways, l, crep.Total, 100*float64(crep.Total)/float64(crep.Accesses))
 	}
 	if o.simulate {
 		cmps, err := validate.RunObserved(a, env, []int64{cache}, m)

@@ -33,6 +33,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/simbench"
 )
 
@@ -114,6 +115,7 @@ func mainE() error {
 	out := flag.String("o", "BENCH_sim.json", "output artifact path")
 	benchtime := flag.String("benchtime", "2s", "per-measurement benchmark time (testing -benchtime syntax)")
 	smokeOnly := flag.Bool("smoke", false, "run the exact-vs-analytic speedup check instead of writing the artifact")
+	assoc := flag.Bool("assoc", false, "write the set-associative accuracy artifact (BENCH_assoc.json schema) instead of BENCH_sim.json")
 	flag.Parse()
 	if *smokeOnly {
 		return smoke()
@@ -121,6 +123,9 @@ func mainE() error {
 	testing.Init()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		return err
+	}
+	if *assoc {
+		return assocArtifact(*out)
 	}
 
 	var a Artifact
@@ -235,6 +240,136 @@ func mainE() error {
 		float64(a.Sweep.Scalar.NsPerOp)/1e6, float64(a.Sweep.Batched.NsPerOp)/1e6, a.Sweep.Speedup, a.SweepJ, a.SweepCases)
 	fmt.Printf("  engines:  exact %.2f ns/access, sampled %.2f ns/access, analytic %d ns/op\n",
 		a.Engines["exact"].NsPerAccess, a.Engines["sampled"].NsPerAccess, a.Engines["analytic"].NsPerOp)
+	return nil
+}
+
+// AssocRow is one geometry of the set-associative accuracy table: the
+// AssocCache ground truth against both models.
+type AssocRow struct {
+	Ways              int64   `json:"ways"`
+	CacheElems        int64   `json:"cache_elems"`
+	Simulated         int64   `json:"simulated"`
+	PredictedFA       int64   `json:"predicted_fa"`
+	PredictedConflict int64   `json:"predicted_conflict"`
+	RelErrFA          float64 `json:"rel_err_fa"`
+	RelErrConflict    float64 `json:"rel_err_conflict"`
+}
+
+// AssocArtifact is the BENCH_assoc.json schema: the accuracy table over
+// the associativity sweep plus the cost of one prediction through each
+// model and of the simulated ground truth.
+type AssocArtifact struct {
+	Generated string `json:"generated"`
+	Host      struct {
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		NumCPU     int    `json:"num_cpu"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		GoVersion  string `json:"go_version"`
+	} `json:"host"`
+	Workload struct {
+		Name       string  `json:"name"`
+		N          int64   `json:"n"`
+		Tiles      []int64 `json:"tiles"`
+		Accesses   int64   `json:"accesses"`
+		Capacities []int64 `json:"capacities"`
+		Ways       []int64 `json:"ways"`
+	} `json:"workload"`
+	Rows               []AssocRow `json:"rows"`
+	MeanRelErrFA       float64    `json:"mean_rel_err_fa"`
+	MeanRelErrConflict float64    `json:"mean_rel_err_conflict"`
+	// PredictFA/PredictConflict time one model evaluation at the
+	// direct-mapped 512-element geometry (ns/prediction); SimulateAssoc is
+	// the AssocCache ground truth for the same geometry.
+	PredictFA       Measurement `json:"predict_fa"`
+	PredictConflict Measurement `json:"predict_conflict"`
+	SimulateAssoc   Measurement `json:"simulate_assoc"`
+}
+
+// assocArtifact writes the BENCH_assoc.json artifact: model-vs-AssocCache
+// accuracy across the associativity sweep and the per-prediction cost of
+// the conflict-aware model next to its fully-associative baseline.
+func assocArtifact(out string) error {
+	var a AssocArtifact
+	a.Generated = time.Now().UTC().Format(time.RFC3339)
+	a.Host.GOOS = runtime.GOOS
+	a.Host.GOARCH = runtime.GOARCH
+	a.Host.NumCPU = runtime.NumCPU()
+	a.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	a.Host.GoVersion = runtime.Version()
+
+	w, err := simbench.Matmul(64, []int64{8, 8, 8})
+	if err != nil {
+		return err
+	}
+	a.Workload.Name = w.Name
+	a.Workload.N = 64
+	a.Workload.Tiles = []int64{8, 8, 8}
+	a.Workload.Accesses = w.Accesses
+	a.Workload.Capacities = simbench.AssocCapacities()
+	a.Workload.Ways = simbench.AssocWays()
+
+	fmt.Fprintln(os.Stderr, "measuring model-vs-simulator accuracy ...")
+	var sumFA, sumConf float64
+	for _, ways := range a.Workload.Ways {
+		cmps, err := w.RunAssocAccuracy(ways)
+		if err != nil {
+			return err
+		}
+		for _, c := range cmps {
+			a.Rows = append(a.Rows, AssocRow{
+				Ways:              c.Ways,
+				CacheElems:        c.CacheElems,
+				Simulated:         c.Simulated,
+				PredictedFA:       c.PredictedFA,
+				PredictedConflict: c.PredictedConflict,
+				RelErrFA:          c.RelErrFA(),
+				RelErrConflict:    c.RelErrConflict(),
+			})
+			sumFA += c.RelErrFA()
+			sumConf += c.RelErrConflict()
+		}
+	}
+	a.MeanRelErrFA = sumFA / float64(len(a.Rows))
+	a.MeanRelErrConflict = sumConf / float64(len(a.Rows))
+
+	fmt.Fprintln(os.Stderr, "measuring prediction cost ...")
+	dm := core.CacheConfig{CapacityElems: 512, Ways: 1, LineElems: 1}
+	a.PredictFA = measure(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := w.PredictFA(dm.CapacityElems); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}, 0)
+	a.PredictConflict = measure(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := w.PredictConflict(dm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}, 0)
+	a.SimulateAssoc = measure(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := w.RunAssocAccuracy(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}, w.Accesses)
+
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	fmt.Printf("  accuracy: mean rel err %.4f (fully-assoc) -> %.4f (conflict-aware) over %d rows\n",
+		a.MeanRelErrFA, a.MeanRelErrConflict, len(a.Rows))
+	fmt.Printf("  cost:     %d ns/prediction (fully-assoc) -> %d ns/prediction (conflict-aware), ground truth %.1f ms\n",
+		a.PredictFA.NsPerOp, a.PredictConflict.NsPerOp, float64(a.SimulateAssoc.NsPerOp)/1e6)
 	return nil
 }
 

@@ -40,18 +40,30 @@ func golden(t *testing.T, name string, got []byte) {
 // the cache accounting are all deterministic.
 func TestGoldenSearchText(t *testing.T) {
 	var buf bytes.Buffer
-	err := run(&buf, nil, false, "matmul", 64, 4, 1, false, "", "")
+	err := run(&buf, nil, false, "matmul", 64, 4, 1, false, 0, 0, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	golden(t, "search_matmul_n64.txt", buf.Bytes())
 }
 
+// TestGoldenSearchDirectMappedText pins the -ways output: the same search
+// against a direct-mapped geometry, where the conflict-aware scores differ
+// from the fully-associative golden above.
+func TestGoldenSearchDirectMappedText(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, nil, false, "matmul", 64, 4, 1, false, 1, 4, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "search_matmul_n64_dm.txt", buf.Bytes())
+}
+
 // TestGoldenExhaustiveText pins the exhaustive-baseline output on a grid
 // small enough to score in milliseconds.
 func TestGoldenExhaustiveText(t *testing.T) {
 	var buf bytes.Buffer
-	err := run(&buf, nil, false, "matmul", 24, 4, 1, true, "", "")
+	err := run(&buf, nil, false, "matmul", 24, 4, 1, true, 0, 0, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +79,7 @@ func TestGoldenRunReport(t *testing.T) {
 	reportPath := filepath.Join(t.TempDir(), "report.json")
 	var buf bytes.Buffer
 	args := []string{"-kernel", "matmul", "-n", "64", "-cache-kb", "4", "-j", "1", "-report", "report.json"}
-	if err := run(&buf, args, false, "matmul", 64, 4, 1, false, reportPath, ""); err != nil {
+	if err := run(&buf, args, false, "matmul", 64, 4, 1, false, 0, 0, reportPath, ""); err != nil {
 		t.Fatal(err)
 	}
 	rep, err := obs.ReadReportFile(reportPath)

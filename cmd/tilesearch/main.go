@@ -7,13 +7,17 @@
 //	tilesearch -kernel twoindex -n 1024     # one known-bounds search
 //	tilesearch -kernel matmul -n 512 -cache-kb 16
 //	tilesearch -kernel twoindex -n 1024 -j 8 -exhaustive
+//	tilesearch -kernel matmul -n 256 -cache-kb 4 -ways 1 -line 4
 //	tilesearch -kernel matmul -n 256 -report run.json
 //	tilesearch -table4 -debug-addr localhost:8080
 //
 // -j spreads candidate evaluation over a worker pool; results are
 // byte-identical at every parallelism level. -exhaustive scores the full
 // divisor grid instead of the pruned §6 search (the baseline the search is
-// measured against). -report writes a RunReport JSON artifact (analysis
+// measured against). -ways scores candidates against a set-associative
+// geometry through the conflict-aware model (with -line as the line size in
+// elements), steering the search away from resonant power-of-two strides;
+// omitting it keeps the fully-associative model and its exact output. -report writes a RunReport JSON artifact (analysis
 // stage timings, per-phase candidate counts, evaluation-cache accounting,
 // search phase spans — see README.md, Observability). -debug-addr serves
 // /metrics, /debug/vars and /debug/pprof on the given address for the
@@ -43,11 +47,13 @@ func main() {
 		cacheKB    = flag.Int64("cache-kb", 64, "cache size in KB of doubles")
 		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "parallel evaluation workers (1 = sequential)")
 		exhaustive = flag.Bool("exhaustive", false, "score the full divisor grid instead of the pruned search")
+		ways       = flag.Int64("ways", 0, "score against a set-associative geometry with this associativity (0 = fully associative)")
+		line       = flag.Int64("line", 0, "line size in elements for -ways (0 = one-element lines)")
 		report     = flag.String("report", "", "write a RunReport JSON artifact to this path")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, os.Args[1:], *table4, *kernel, *n, *cacheKB, *jobs, *exhaustive, *report, *debugAddr); err != nil {
+	if err := run(os.Stdout, os.Args[1:], *table4, *kernel, *n, *cacheKB, *jobs, *exhaustive, *ways, *line, *report, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "tilesearch:", err)
 		os.Exit(1)
 	}
@@ -57,7 +63,7 @@ func main() {
 // report (main passes os.Args[1:]; tests pass a fixed slice so golden
 // reports stay stable).
 func run(w io.Writer, args []string, table4 bool, kernel string, n, cacheKB int64, jobs int,
-	exhaustive bool, reportPath, debugAddr string) error {
+	exhaustive bool, ways, line int64, reportPath, debugAddr string) error {
 	// Observability is active whenever anything consumes it; a nil registry
 	// disables every instrument downstream.
 	var m *obs.Metrics
@@ -142,6 +148,8 @@ func run(w io.Writer, args []string, table4 bool, kernel string, n, cacheKB int6
 	opt := tilesearch.Options{
 		Dims:        dims,
 		CacheElems:  experiments.KB(cacheKB),
+		Ways:        ways,
+		LineElems:   line,
 		BaseEnv:     base,
 		DivisorOf:   n,
 		Parallelism: jobs,
@@ -162,7 +170,15 @@ func run(w io.Writer, args []string, table4 bool, kernel string, n, cacheKB int6
 	if exhaustive {
 		mode = "exhaustive"
 	}
-	fmt.Fprintf(w, "kernel %s, N=%d, cache %d KB, %s, %d workers\n", kernel, n, cacheKB, mode, jobs)
+	geom := ""
+	if ways > 0 {
+		l := line
+		if l <= 0 {
+			l = 1
+		}
+		geom = fmt.Sprintf(" (%d-way, %d-element lines)", ways, l)
+	}
+	fmt.Fprintf(w, "kernel %s, N=%d, cache %d KB%s, %s, %d workers\n", kernel, n, cacheKB, geom, mode, jobs)
 	fmt.Fprintf(w, "best: %s\n", res.Best)
 	if len(res.Frontier) > 0 {
 		fmt.Fprintf(w, "frontier candidates (coarse phase):\n")

@@ -26,6 +26,10 @@ type compiledAnalysis struct {
 	trips    []tripProg
 	dims     []dimProg
 	comps    []compiledComponent
+	// conf is the associativity-aware stride-lattice layer (conflict.go).
+	// Its programs are excluded from programCount so the "expr.programs"
+	// gauge keeps measuring the fully-associative prediction pipeline.
+	conf *conflictLayer
 }
 
 type tripProg struct {
@@ -91,6 +95,7 @@ func compileAnalysis(a *Analysis) *compiledAnalysis {
 		}
 		ca.comps[i] = cc
 	}
+	ca.conf = buildConflictLayer(a, ca)
 	return ca
 }
 

@@ -245,15 +245,23 @@ func (cc *compCache) eval(ec *EvalCache, env expr.Env, cacheElems int64) (Compon
 	return classifyComponent(cc.c, e.v, cacheElems), nil
 }
 
-func (cc *compCache) evalFrame(ec *EvalCache, f *expr.Frame, cacheElems int64) (ComponentMisses, error) {
+// valuesFrame returns the memoized capacity-independent componentValues for
+// the frame's bindings — the shared substrate of the cacheElems and
+// CacheConfig classification paths.
+func (cc *compCache) valuesFrame(ec *EvalCache, f *expr.Frame) (componentValues, error) {
 	e := ec.lookup(cc, cc.frameKey(f), func() (componentValues, error) {
 		ec.mFrameEvals.Inc()
 		return cc.cc.evalComponentValuesFrame(f)
 	})
-	if e.err != nil {
-		return ComponentMisses{Component: cc.c, Count: e.v.Count}, e.err
+	return e.v, e.err
+}
+
+func (cc *compCache) evalFrame(ec *EvalCache, f *expr.Frame, cacheElems int64) (ComponentMisses, error) {
+	v, err := cc.valuesFrame(ec, f)
+	if err != nil {
+		return ComponentMisses{Component: cc.c, Count: v.Count}, err
 	}
-	return classifyComponent(cc.c, e.v, cacheElems), nil
+	return classifyComponent(cc.c, v, cacheElems), nil
 }
 
 // PredictMissesFrame is PredictMisses through the frame path: memoized
@@ -287,6 +295,67 @@ func (ec *EvalCache) PredictTotalFrame(f *expr.Frame, cacheElems int64) (int64, 
 	var total int64
 	for i := range ec.comps {
 		cm, err := ec.comps[i].evalFrame(ec, f, cacheElems)
+		if err != nil {
+			return 0, err
+		}
+		total += cm.Misses
+	}
+	return total, nil
+}
+
+// PredictMissesFrameConfig is Analysis.PredictMissesFrameConfig through the
+// cache: the capacity-independent component values are memoized exactly as
+// in the cacheElems paths (sharing their entries), while the conflict
+// penalty — a function of the cache geometry — is recomputed per call.
+func (ec *EvalCache) PredictMissesFrameConfig(f *expr.Frame, cfg CacheConfig) (*MissReport, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.norm()
+	if cfg.FullyAssociative() {
+		return ec.PredictMissesFrame(f, cfg.CapacityElems)
+	}
+	if err := ec.a.ca.validateFrame(f); err != nil {
+		return nil, err
+	}
+	ce := ec.a.ca.newConflictEval(f, cfg)
+	rep := &MissReport{CacheElems: cfg.CapacityElems, BySite: map[string]int64{}}
+	for i := range ec.comps {
+		v, err := ec.comps[i].valuesFrame(ec, f)
+		if err != nil {
+			return nil, err
+		}
+		cm, err := ce.classify(i, ec.comps[i].c, v, cfg.CapacityElems)
+		if err != nil {
+			return nil, err
+		}
+		rep.Detail = append(rep.Detail, cm)
+		rep.Total += cm.Misses
+		rep.BySite[cm.Component.Site.Key()] += cm.Misses
+		rep.Accesses += cm.Count
+	}
+	return rep, nil
+}
+
+// PredictTotalFrameConfig is PredictMissesFrameConfig reduced to the total,
+// allocation-light for the tile search's per-candidate scoring. cfg must be
+// valid (the search validates once up front).
+func (ec *EvalCache) PredictTotalFrameConfig(f *expr.Frame, cfg CacheConfig) (int64, error) {
+	cfg = cfg.norm()
+	if cfg.FullyAssociative() {
+		return ec.PredictTotalFrame(f, cfg.CapacityElems)
+	}
+	if err := ec.a.ca.validateFrame(f); err != nil {
+		return 0, err
+	}
+	ce := ec.a.ca.newConflictEval(f, cfg)
+	var total int64
+	for i := range ec.comps {
+		v, err := ec.comps[i].valuesFrame(ec, f)
+		if err != nil {
+			return 0, err
+		}
+		cm, err := ce.classify(i, ec.comps[i].c, v, cfg.CapacityElems)
 		if err != nil {
 			return 0, err
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cachesim"
+	"repro/internal/core"
 	"repro/internal/trace"
 )
 
@@ -18,11 +19,16 @@ type AssocPoint struct {
 	LineElems int64
 	Misses    int64
 	Accesses  int64
+	// Predicted is the analytic model's miss count for this organization:
+	// the paper's fully-associative model on the ways-0 row, the
+	// conflict-aware model (core.PredictMissesConfig) on every other.
+	Predicted int64
 }
 
 // RunAssocSensitivity simulates the kernel's trace against a fully
 // associative cache and against each of the given associativities, at the
-// same capacity and line size.
+// same capacity and line size, with the matching analytic prediction next
+// to each simulated count.
 func RunAssocSensitivity(kind string, n int64, tiles []int64, cacheKB int64, ways []int, lineElems int64) ([]AssocPoint, error) {
 	nest, env, err := BuildKernel(kind, n, tiles)
 	if err != nil {
@@ -54,13 +60,27 @@ func RunAssocSensitivity(kind string, n int64, tiles []int64, cacheKB int64, way
 	if err != nil {
 		return nil, err
 	}
-	out := []AssocPoint{{Ways: 0, LineElems: 1, Misses: m, Accesses: res.Accesses}}
+	a, err := core.Analyze(nest)
+	if err != nil {
+		return nil, err
+	}
+	faRep, err := a.PredictMisses(env, capacity)
+	if err != nil {
+		return nil, err
+	}
+	out := []AssocPoint{{Ways: 0, LineElems: 1, Misses: m, Accesses: res.Accesses, Predicted: faRep.Total}}
 	for i, w := range ways {
+		cfg := core.CacheConfig{CapacityElems: capacity, Ways: int64(w), LineElems: lineElems}
+		crep, err := a.PredictMissesConfig(env, cfg)
+		if err != nil {
+			return nil, err
+		}
 		out = append(out, AssocPoint{
 			Ways:      w,
 			LineElems: lineElems,
 			Misses:    assoc[i].Misses(),
 			Accesses:  assoc[i].Accesses(),
+			Predicted: crep.Total,
 		})
 	}
 	return out, nil

@@ -14,10 +14,14 @@ func TestAssocSensitivityMatmul(t *testing.T) {
 	if full.Ways != 0 || full.Misses <= 0 {
 		t.Fatalf("full-assoc point %+v", full)
 	}
-	// All organizations see the same trace.
-	for _, p := range pts[1:] {
+	// All organizations see the same trace, and each row carries a
+	// prediction from the matching model.
+	for _, p := range pts {
 		if p.Accesses != full.Accesses {
 			t.Errorf("ways %d saw %d accesses, full saw %d", p.Ways, p.Accesses, full.Accesses)
+		}
+		if p.Predicted <= 0 {
+			t.Errorf("ways %d: no prediction attached (%d)", p.Ways, p.Predicted)
 		}
 	}
 	// Direct-mapped must miss at least as much as fully-associative LRU on

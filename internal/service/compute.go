@@ -93,6 +93,44 @@ func cacheElemsOf(elems, kb int64) (int64, error) {
 	return 0, fmt.Errorf("%w: request needs cacheElems or cacheKB", errBadRequest)
 }
 
+// assocConfigOf resolves the optional ways/line pair into a cache config.
+// Omitted ways yields the fully-associative config (Ways zero) so the
+// prediction paths, cache keys and response bytes stay exactly what they
+// were before the fields existed. Present ways must name a geometry the
+// set-associative simulator itself would accept.
+func assocConfigOf(ways, line *int64, cacheElems int64) (core.CacheConfig, error) {
+	cfg := core.CacheConfig{CapacityElems: cacheElems}
+	if ways == nil {
+		if line != nil {
+			return cfg, fmt.Errorf("%w: line requires ways", errBadRequest)
+		}
+		return cfg, nil
+	}
+	if *ways <= 0 {
+		return cfg, fmt.Errorf("%w: ways must be >= 1, got %d", errBadRequest, *ways)
+	}
+	cfg.Ways = *ways
+	if line != nil {
+		if *line <= 0 {
+			return cfg, fmt.Errorf("%w: line must be >= 1, got %d", errBadRequest, *line)
+		}
+		cfg.LineElems = *line
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	return cfg, nil
+}
+
+// effectiveLine is the line size a config actually models (LineElems zero
+// means one-element lines): what keys and responses report.
+func effectiveLine(cfg core.CacheConfig) int64 {
+	if cfg.LineElems <= 0 {
+		return 1
+	}
+	return cfg.LineElems
+}
+
 // marshal renders every response: indented deterministic JSON with a
 // trailing newline, so cached bytes, direct Compute calls and golden files
 // compare byte-for-byte.
@@ -120,19 +158,28 @@ type AnalyzeResponse struct {
 
 // PredictRequest evaluates the model at concrete bindings. Capacity is
 // given as elements or kilobytes (8-byte elements); detail adds the
-// per-site miss breakdown.
+// per-site miss breakdown. Ways, when present, switches to the
+// conflict-aware set-associative model (line is the line size in elements,
+// defaulting to one); omitted ways keeps the fully-associative model and
+// its exact response bytes.
 type PredictRequest struct {
 	NestRequest
-	CacheElems int64 `json:"cacheElems,omitempty"`
-	CacheKB    int64 `json:"cacheKB,omitempty"`
-	Detail     bool  `json:"detail,omitempty"`
+	CacheElems int64  `json:"cacheElems,omitempty"`
+	CacheKB    int64  `json:"cacheKB,omitempty"`
+	Ways       *int64 `json:"ways,omitempty"`
+	Line       *int64 `json:"line,omitempty"`
+	Detail     bool   `json:"detail,omitempty"`
 }
 
-// PredictResponse is a concrete miss prediction.
+// PredictResponse is a concrete miss prediction. Ways/Line echo the
+// effective set-associative geometry and are omitted on the
+// fully-associative model.
 type PredictResponse struct {
 	Nest       string           `json:"nest"`
 	Env        map[string]int64 `json:"env"`
 	CacheElems int64            `json:"cacheElems"`
+	Ways       int64            `json:"ways,omitempty"`
+	Line       int64            `json:"line,omitempty"`
 	Accesses   int64            `json:"accesses"`
 	Misses     int64            `json:"misses"`
 	BySite     map[string]int64 `json:"bySite,omitempty"`
@@ -144,6 +191,8 @@ type TileSearchRequest struct {
 	NestRequest
 	CacheElems int64            `json:"cacheElems,omitempty"`
 	CacheKB    int64            `json:"cacheKB,omitempty"`
+	Ways       *int64           `json:"ways,omitempty"`
+	Line       *int64           `json:"line,omitempty"`
 	Dims       map[string]int64 `json:"dims"`
 	MinTile    int64            `json:"minTile,omitempty"`
 	DivisorOf  int64            `json:"divisorOf,omitempty"`
@@ -162,9 +211,13 @@ type PhaseSummary struct {
 }
 
 // TileSearchResponse is the search outcome plus its phase summary.
+// Ways/Line echo the effective set-associative geometry and are omitted on
+// the fully-associative model.
 type TileSearchResponse struct {
 	Nest       string                `json:"nest"`
 	CacheElems int64                 `json:"cacheElems"`
+	Ways       int64                 `json:"ways,omitempty"`
+	Line       int64                 `json:"line,omitempty"`
 	Result     tilesearch.ResultJSON `json:"result"`
 	Phases     PhaseSummary          `json:"phases"`
 }
@@ -215,25 +268,35 @@ func analyzeKey(spec *loopir.Spec) string {
 	return "analyze\x00" + spec.Nest
 }
 
-func predictKey(spec *loopir.Spec, cacheElems int64, detail bool) string {
-	k := "predict\x00" + spec.Key() + "\x00" + strconv.FormatInt(cacheElems, 10)
+func predictKey(spec *loopir.Spec, cfg core.CacheConfig, detail bool) string {
+	k := "predict\x00" + spec.Key() + "\x00" + strconv.FormatInt(cfg.CapacityElems, 10)
+	// Omitted ways must key exactly as before the field existed, so cached
+	// fully-associative bytes keep being shared across releases; a present
+	// ways keys on the effective geometry (the response echoes it), so
+	// {ways:2} and {ways:2,line:1} collide and distinct geometries do not.
+	if cfg.Ways > 0 {
+		k += fmt.Sprintf("\x00ways=%d,line=%d", cfg.Ways, effectiveLine(cfg))
+	}
 	if detail {
 		k += "\x00detail"
 	}
 	return k
 }
 
-func tileSearchKey(spec *loopir.Spec, req *TileSearchRequest, cacheElems int64) string {
+func tileSearchKey(spec *loopir.Spec, req *TileSearchRequest, cfg core.CacheConfig) string {
 	dims := tilesearch.SortedDims(req.Dims)
 	var b strings.Builder
 	b.WriteString("tilesearch\x00")
 	b.WriteString(spec.Key())
-	fmt.Fprintf(&b, "\x00%d\x00%d\x00%d\x00", cacheElems, req.MinTile, req.DivisorOf)
+	fmt.Fprintf(&b, "\x00%d\x00%d\x00%d\x00", cfg.CapacityElems, req.MinTile, req.DivisorOf)
 	for i, d := range dims {
 		if i > 0 {
 			b.WriteByte(',')
 		}
 		fmt.Fprintf(&b, "%s=%d", d.Symbol, d.Max)
+	}
+	if cfg.Ways > 0 {
+		fmt.Fprintf(&b, "\x00ways=%d,line=%d", cfg.Ways, effectiveLine(cfg))
 	}
 	return b.String()
 }
@@ -276,8 +339,10 @@ func (s *Service) computeAnalyze(ctx context.Context, spec *loopir.Spec) ([]byte
 }
 
 // computePredict is the /v1/predict computation: the frame-based fast path
-// of the compiled model, on a pooled frame.
-func (s *Service) computePredict(ctx context.Context, spec *loopir.Spec, cacheElems int64, detail bool) ([]byte, error) {
+// of the compiled model, on a pooled frame. A requested set-associative
+// geometry routes through the conflict-aware model and is echoed in the
+// response.
+func (s *Service) computePredict(ctx context.Context, spec *loopir.Spec, cfg core.CacheConfig, detail bool) ([]byte, error) {
 	a, err := s.getAnalysis(ctx, spec.Nest)
 	if err != nil {
 		return nil, err
@@ -285,16 +350,25 @@ func (s *Service) computePredict(ctx context.Context, spec *loopir.Spec, cacheEl
 	f := a.GetFrame()
 	defer a.PutFrame(f)
 	f.Bind(spec.ExprEnv())
-	rep, err := a.PredictMissesFrame(f, cacheElems)
+	var rep *core.MissReport
+	if cfg.Ways > 0 {
+		rep, err = a.PredictMissesFrameConfig(f, cfg)
+	} else {
+		rep, err = a.PredictMissesFrame(f, cfg.CapacityElems)
+	}
 	if err != nil {
 		return nil, err
 	}
 	resp := PredictResponse{
 		Nest:       a.Nest.Name,
 		Env:        spec.Env,
-		CacheElems: cacheElems,
+		CacheElems: cfg.CapacityElems,
 		Accesses:   rep.Accesses,
 		Misses:     rep.Total,
+	}
+	if cfg.Ways > 0 {
+		resp.Ways = cfg.Ways
+		resp.Line = effectiveLine(cfg)
 	}
 	if detail {
 		resp.BySite = rep.BySite
@@ -307,7 +381,7 @@ func (s *Service) computePredict(ctx context.Context, spec *loopir.Spec, cacheEl
 // from the worker pool, and nesting a second level of parallelism inside a
 // pool slot would oversubscribe the host. A per-request obs registry
 // collects the phase counters for the response.
-func (s *Service) computeTileSearch(ctx context.Context, spec *loopir.Spec, req *TileSearchRequest, cacheElems int64) ([]byte, error) {
+func (s *Service) computeTileSearch(ctx context.Context, spec *loopir.Spec, req *TileSearchRequest, cfg core.CacheConfig) ([]byte, error) {
 	if len(req.Dims) == 0 {
 		return nil, fmt.Errorf("%w: tilesearch request needs dims", errBadRequest)
 	}
@@ -318,7 +392,9 @@ func (s *Service) computeTileSearch(ctx context.Context, spec *loopir.Spec, req 
 	m := obs.New()
 	res, err := tilesearch.Search(a, tilesearch.Options{
 		Dims:       tilesearch.SortedDims(req.Dims),
-		CacheElems: cacheElems,
+		CacheElems: cfg.CapacityElems,
+		Ways:       cfg.Ways,
+		LineElems:  cfg.LineElems,
 		BaseEnv:    spec.ExprEnv(),
 		MinTile:    req.MinTile,
 		DivisorOf:  req.DivisorOf,
@@ -328,20 +404,25 @@ func (s *Service) computeTileSearch(ctx context.Context, spec *loopir.Spec, req 
 	if err != nil {
 		return nil, err
 	}
-	counters, gauges := m.Counters(), m.Gauges()
-	return marshal(TileSearchResponse{
+	resp := TileSearchResponse{
 		Nest:       a.Nest.Name,
-		CacheElems: cacheElems,
-		Result:     res.JSON(),
-		Phases: PhaseSummary{
-			Coarse:       counters["search.candidates.coarse"],
-			Refine:       counters["search.candidates.refine"],
-			FrontierSize: gauges["search.frontier.size"],
-			Probes:       counters["search.candidates.frontier"],
-			Pruned:       counters["search.pruned"],
-			Evaluated:    gauges["search.evaluated"],
-		},
-	})
+		CacheElems: cfg.CapacityElems,
+	}
+	if cfg.Ways > 0 {
+		resp.Ways = cfg.Ways
+		resp.Line = effectiveLine(cfg)
+	}
+	counters, gauges := m.Counters(), m.Gauges()
+	resp.Result = res.JSON()
+	resp.Phases = PhaseSummary{
+		Coarse:       counters["search.candidates.coarse"],
+		Refine:       counters["search.candidates.refine"],
+		FrontierSize: gauges["search.frontier.size"],
+		Probes:       counters["search.candidates.frontier"],
+		Pruned:       counters["search.pruned"],
+		Evaluated:    gauges["search.evaluated"],
+	}
+	return marshal(resp)
 }
 
 // computeSimulate is the /v1/simulate computation, dispatched on the
@@ -516,8 +597,12 @@ func (s *Service) plan(path string, body []byte) (string, func(context.Context) 
 		if err != nil {
 			return "", nil, err
 		}
-		return predictKey(spec, cacheElems, req.Detail), func(ctx context.Context) ([]byte, error) {
-			return s.computePredict(ctx, spec, cacheElems, req.Detail)
+		cfg, err := assocConfigOf(req.Ways, req.Line, cacheElems)
+		if err != nil {
+			return "", nil, err
+		}
+		return predictKey(spec, cfg, req.Detail), func(ctx context.Context) ([]byte, error) {
+			return s.computePredict(ctx, spec, cfg, req.Detail)
 		}, nil
 	case "/v1/tilesearch":
 		var req TileSearchRequest
@@ -532,8 +617,12 @@ func (s *Service) plan(path string, body []byte) (string, func(context.Context) 
 		if err != nil {
 			return "", nil, err
 		}
-		return tileSearchKey(spec, &req, cacheElems), func(ctx context.Context) ([]byte, error) {
-			return s.computeTileSearch(ctx, spec, &req, cacheElems)
+		cfg, err := assocConfigOf(req.Ways, req.Line, cacheElems)
+		if err != nil {
+			return "", nil, err
+		}
+		return tileSearchKey(spec, &req, cfg), func(ctx context.Context) ([]byte, error) {
+			return s.computeTileSearch(ctx, spec, &req, cfg)
 		}, nil
 	case "/v1/simulate":
 		var req SimulateRequest

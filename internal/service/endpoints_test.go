@@ -42,6 +42,16 @@ var endpointFixtures = []struct {
 		path: "/v1/simulate",
 		body: `{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4],"perSite":true}`,
 	},
+	{
+		name: "predict_matmul_directmapped",
+		path: "/v1/predict",
+		body: `{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4,"ways":1,"line":4,"detail":true}`,
+	},
+	{
+		name: "tilesearch_matmul_directmapped",
+		path: "/v1/tilesearch",
+		body: `{"kernel":"matmul","n":32,"tiles":[4,4,4],"cacheKB":4,"ways":1,"dims":{"TI":32,"TJ":32,"TK":32}}`,
+	},
 }
 
 func newTestService(t *testing.T) (*Service, *obs.Metrics) {
@@ -121,6 +131,16 @@ func TestEndpointErrors(t *testing.T) {
 		{"no watches", "/v1/simulate", `{"kernel":"matmul","n":16}`, http.MethodPost, http.StatusBadRequest},
 		{"negative watch", "/v1/simulate", `{"kernel":"matmul","n":16,"watches":[-1]}`, http.MethodPost, http.StatusBadRequest},
 		{"oversized trace", "/v1/simulate", `{"kernel":"matmul","n":2048,"tiles":[64,64,64],"watchKB":[4]}`, http.MethodPost, http.StatusBadRequest},
+		// The set-associative geometry taxonomy: an explicit ways of zero is
+		// rejected (omit the field for the fully-associative model), the line
+		// must divide the capacity, the ways must divide the line count, and
+		// a line without ways selects nothing and is rejected.
+		{"zero ways", "/v1/predict", `{"kernel":"matmul","n":16,"cacheKB":4,"ways":0}`, http.MethodPost, http.StatusBadRequest},
+		{"line not dividing capacity", "/v1/predict", `{"kernel":"matmul","n":16,"cacheKB":4,"ways":2,"line":3}`, http.MethodPost, http.StatusBadRequest},
+		{"ways exceeding lines", "/v1/predict", `{"kernel":"matmul","n":16,"cacheKB":4,"ways":256,"line":4}`, http.MethodPost, http.StatusBadRequest},
+		{"line without ways", "/v1/predict", `{"kernel":"matmul","n":16,"cacheKB":4,"line":4}`, http.MethodPost, http.StatusBadRequest},
+		{"tilesearch zero ways", "/v1/tilesearch", `{"kernel":"matmul","n":32,"cacheKB":4,"ways":0,"dims":{"TI":32}}`, http.MethodPost, http.StatusBadRequest},
+		{"tilesearch bad geometry", "/v1/tilesearch", `{"kernel":"matmul","n":32,"cacheKB":4,"ways":3,"dims":{"TI":32}}`, http.MethodPost, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -177,5 +197,45 @@ func TestCanonicalizationSharesCache(t *testing.T) {
 	if c["service.cache.misses"] != 1 || c["service.cache.hits"] != 1 {
 		t.Errorf("cache misses=%d hits=%d, want 1/1 (canonical keys should collide)",
 			c["service.cache.misses"], c["service.cache.hits"])
+	}
+}
+
+// TestAssocCacheKeys pins the cache-key contract of the ways/line fields:
+// distinct geometries get distinct entries, an omitted line keys as line 1,
+// and a request that omits ways shares the pre-existing fully-associative
+// entry (and therefore its exact bytes).
+func TestAssocCacheKeys(t *testing.T) {
+	svc, m := newTestService(t)
+	h := svc.Handler()
+	base := `{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4}`
+	script := []struct {
+		name, body string
+		wantMisses int64 // cumulative distinct entries after this request
+	}{
+		{"fully associative", base, 1},
+		{"direct mapped", `{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4,"ways":1}`, 2},
+		{"direct mapped line 1", `{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4,"ways":1,"line":1}`, 2},
+		{"two way", `{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4,"ways":2}`, 3},
+		{"fully associative again", base, 3},
+	}
+	bodies := map[string][]byte{}
+	for _, step := range script {
+		w := post(t, h, "/v1/predict", step.body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", step.name, w.Code, w.Body.String())
+		}
+		bodies[step.name] = append([]byte(nil), w.Body.Bytes()...)
+		if got := m.Counters()["service.cache.misses"]; got != step.wantMisses {
+			t.Errorf("%s: %d distinct cache entries, want %d", step.name, got, step.wantMisses)
+		}
+	}
+	if bytes.Equal(bodies["fully associative"], bodies["direct mapped"]) {
+		t.Error("direct-mapped response identical to fully-associative response")
+	}
+	if !bytes.Equal(bodies["direct mapped"], bodies["direct mapped line 1"]) {
+		t.Error("omitted line and explicit line 1 served different bytes")
+	}
+	if !bytes.Equal(bodies["fully associative"], bodies["fully associative again"]) {
+		t.Error("repeat fully-associative request served different bytes")
 	}
 }

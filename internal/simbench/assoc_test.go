@@ -1,0 +1,81 @@
+package simbench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestAssocAccuracyAgreesWithModels is the package's own cross-check of the
+// assoc workload: the comparisons carry the same predictions the model
+// entry points produce directly, so the artifact numbers are the model's.
+func TestAssocAccuracyAgreesWithModels(t *testing.T) {
+	w, err := Matmul(16, []int64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmps, err := w.RunAssocAccuracy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmps) != len(AssocCapacities()) {
+		t.Fatalf("%d comparisons for %d capacities", len(cmps), len(AssocCapacities()))
+	}
+	for _, c := range cmps {
+		fa, err := w.PredictFA(c.CacheElems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conf, err := w.PredictConflict(core.CacheConfig{CapacityElems: c.CacheElems, Ways: 1, LineElems: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fa != c.PredictedFA || conf != c.PredictedConflict {
+			t.Errorf("cap %d: direct predictions %d/%d, comparison carries %d/%d",
+				c.CacheElems, fa, conf, c.PredictedFA, c.PredictedConflict)
+		}
+	}
+}
+
+// BenchmarkAssocPredictConflict times one conflict-aware prediction on the
+// benchmark workload at a direct-mapped 512-element geometry: the
+// ns/prediction figure in BENCH_assoc.json.
+func BenchmarkAssocPredictConflict(b *testing.B) {
+	w := workload(b)
+	cfg := core.CacheConfig{CapacityElems: 512, Ways: 1, LineElems: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.PredictConflict(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssocPredictFA is the fully-associative prediction on the same
+// workload and capacity: the baseline the conflict term's overhead is
+// quoted against.
+func BenchmarkAssocPredictFA(b *testing.B) {
+	w := workload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.PredictFA(512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssocSimulate is the AssocCache ground truth at the same
+// geometry: what the model-vs-simulator speed gap in the artifact is
+// measured against.
+func BenchmarkAssocSimulate(b *testing.B) {
+	w := workload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.RunAssocAccuracy(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPerAccess(b, w.Accesses)
+}

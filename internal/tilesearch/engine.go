@@ -34,6 +34,11 @@ type evaluator struct {
 	opt     Options
 	ctx     context.Context
 	workers int
+	// cfg/useConf carry the set-associative geometry when Options.Ways is
+	// set; useConf false keeps the fully-associative scoring paths
+	// byte-identical to earlier releases.
+	cfg     core.CacheConfig
+	useConf bool
 
 	// dimSlots are the SymTab slots of the tile symbols, aligned with
 	// opt.Dims: binding a candidate into a frame is len(Dims) stores, no
@@ -79,6 +84,8 @@ func newEvaluator(a *core.Analysis, opt Options) *evaluator {
 		workers: workers,
 		cands:   map[string]*candEntry{},
 	}
+	ev.cfg = opt.cacheConfig()
+	ev.useConf = !ev.cfg.FullyAssociative()
 	tab := a.SymTab()
 	ev.dimSlots = make([]int, len(opt.Dims))
 	for i, d := range opt.Dims {
@@ -149,9 +156,12 @@ func (ev *evaluator) compute(tiles map[string]int64, f *expr.Frame) (Candidate, 
 	}
 	var misses int64
 	var err error
-	if ev.opt.UnknownBounds != nil {
+	switch {
+	case ev.opt.UnknownBounds != nil:
 		misses, err = ev.boundFreeMissesFrame(f)
-	} else {
+	case ev.useConf:
+		misses, err = ev.ec.PredictTotalFrameConfig(f, ev.cfg)
+	default:
 		misses, err = ev.ec.PredictTotalFrame(f, ev.opt.CacheElems)
 	}
 	if err != nil {
@@ -174,9 +184,12 @@ func (ev *evaluator) computeTree(tiles map[string]int64) (Candidate, error) {
 	}
 	var misses int64
 	var err error
-	if ev.opt.UnknownBounds != nil {
+	switch {
+	case ev.opt.UnknownBounds != nil:
 		misses, err = ev.boundFreeMisses(env)
-	} else {
+	case ev.useConf:
+		misses, err = ev.a.PredictTotalConfig(env, ev.cfg)
+	default:
 		misses, err = ev.ec.PredictTotal(env, ev.opt.CacheElems)
 	}
 	if err != nil {
@@ -265,7 +278,13 @@ func (ev *evaluator) evalBatch(assigns []map[string]int64) ([]Candidate, error) 
 // exceeds the cache). Counts use the surrogate bounds, which scale all
 // candidates identically.
 func (ev *evaluator) boundFreeMisses(env expr.Env) (int64, error) {
-	rep, err := ev.ec.PredictMisses(env, ev.opt.CacheElems)
+	var rep *core.MissReport
+	var err error
+	if ev.useConf {
+		rep, err = ev.a.PredictMissesConfig(env, ev.cfg)
+	} else {
+		rep, err = ev.ec.PredictMisses(env, ev.opt.CacheElems)
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -274,7 +293,13 @@ func (ev *evaluator) boundFreeMisses(env expr.Env) (int64, error) {
 
 // boundFreeMissesFrame is boundFreeMisses through the frame path.
 func (ev *evaluator) boundFreeMissesFrame(f *expr.Frame) (int64, error) {
-	rep, err := ev.ec.PredictMissesFrame(f, ev.opt.CacheElems)
+	var rep *core.MissReport
+	var err error
+	if ev.useConf {
+		rep, err = ev.ec.PredictMissesFrameConfig(f, ev.cfg)
+	} else {
+		rep, err = ev.ec.PredictMissesFrame(f, ev.opt.CacheElems)
+	}
 	if err != nil {
 		return 0, err
 	}

@@ -20,6 +20,9 @@ func Exhaustive(a *core.Analysis, opt Options) (*Result, error) {
 	if len(opt.Dims) == 0 {
 		return nil, fmt.Errorf("tilesearch: no dimensions to search")
 	}
+	if err := opt.cacheConfig().Validate(); err != nil {
+		return nil, err
+	}
 	if opt.MinTile <= 0 {
 		opt.MinTile = 1
 	}

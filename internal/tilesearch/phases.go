@@ -92,6 +92,114 @@ func KneeAnalysis(a *core.Analysis, base expr.Env, dims []Dim, cacheElems int64)
 	return out, nil
 }
 
+// KneeAnalysisConfig is KneeAnalysis against a set-associative geometry: a
+// tile value "fits" when every component carrying the stack-distance
+// expression predicts zero misses under the conflict-aware model, not when
+// the raw distance is below capacity. The two notions coincide on a
+// fully-associative config, so that case delegates to KneeAnalysis and the
+// knee tables stay byte-identical when Ways is omitted. On a set-associative
+// config knees move in both directions relative to the conservative
+// capacity test: a distance that fits by capacity can still thrash a
+// resonant set (knee moves left), and a whole-range thrash that the
+// capacity test condemns can be confined by the set split (knee moves
+// right).
+func KneeAnalysisConfig(a *core.Analysis, base expr.Env, dims []Dim, cfg core.CacheConfig) ([]Knee, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.FullyAssociative() {
+		return KneeAnalysis(a, base, dims, cfg.CapacityElems)
+	}
+	tab := a.SymTab()
+	f := tab.NewFrame()
+	// Group finite components by their stack-distance expression, in
+	// component order, so each distinct expression yields one knee per
+	// dimension exactly as KneeAnalysis's StackDistances sweep does.
+	type sdGroup struct {
+		sd   core.LinForm
+		idxs []int
+		vars map[string]bool
+	}
+	var groups []*sdGroup
+	byKey := map[string]*sdGroup{}
+	for i, c := range a.Components {
+		if c.SD.Base.IsInf() {
+			continue // compulsory: misses regardless of tile size
+		}
+		key := c.SD.String()
+		g, ok := byKey[key]
+		if !ok {
+			vars := map[string]bool{}
+			c.SD.Base.Vars(vars)
+			if c.SD.Slope != nil {
+				c.SD.Slope.Vars(vars)
+			}
+			g = &sdGroup{sd: c.SD, vars: vars}
+			byKey[key] = g
+			groups = append(groups, g)
+		}
+		g.idxs = append(g.idxs, i)
+	}
+	var out []Knee
+	for _, d := range dims {
+		swept := false
+		for _, g := range groups {
+			if g.vars[d.Symbol] {
+				swept = true
+				break
+			}
+		}
+		if !swept {
+			continue
+		}
+		slot := tab.Slot(d.Symbol)
+		lastFit := make([]int64, len(groups))
+		alwaysFit := make([]bool, len(groups))
+		for gi := range alwaysFit {
+			alwaysFit[gi] = true
+		}
+		for v := int64(1); v <= d.Max; v++ {
+			f.Reset()
+			f.Bind(base)
+			f.Set(slot, v)
+			rep, err := a.PredictMissesFrameConfig(f, cfg)
+			if err != nil {
+				return nil, err
+			}
+			for gi, g := range groups {
+				if !g.vars[d.Symbol] {
+					continue
+				}
+				fits := true
+				for _, ci := range g.idxs {
+					if rep.Detail[ci].Misses > 0 {
+						fits = false
+						break
+					}
+				}
+				if fits {
+					lastFit[gi] = v
+				} else {
+					alwaysFit[gi] = false
+				}
+			}
+		}
+		for gi, g := range groups {
+			if !g.vars[d.Symbol] {
+				continue
+			}
+			out = append(out, Knee{SD: g.sd, Dim: d.Symbol, LastFit: lastFit[gi], AlwaysFit: alwaysFit[gi]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dim != out[j].Dim {
+			return out[i].Dim < out[j].Dim
+		}
+		return out[i].LastFit < out[j].LastFit
+	})
+	return out, nil
+}
+
 // maxSD evaluates the largest value a (possibly position-dependent) stack
 // distance takes under env: the tree-walking form, kept as the oracle the
 // knee tests verify claims against.

@@ -43,6 +43,16 @@ type Options struct {
 	Dims []Dim
 	// CacheElems is the cache capacity in elements.
 	CacheElems int64
+	// Ways, when non-zero, scores candidates against a set-associative
+	// geometry (core.CacheConfig{CacheElems, Ways, LineElems}) through the
+	// conflict-aware prediction path, so the search can steer away from
+	// pathological power-of-two strides. Zero keeps the fully-associative
+	// model, byte-identical to earlier releases.
+	Ways int64
+	// LineElems is the cache line size in elements for the set-associative
+	// geometry; it only takes effect alongside Ways (0 means one-element
+	// lines).
+	LineElems int64
 	// BaseEnv binds every non-tile symbol (loop bounds). In unknown-bounds
 	// mode these are surrogate values.
 	BaseEnv expr.Env
@@ -80,6 +90,17 @@ type Options struct {
 	Trace *obs.Trace
 }
 
+// cacheConfig packs the cache geometry options into a core.CacheConfig.
+// With Ways zero this is a fully-associative config and every scoring path
+// stays on the capacity-only model.
+func (opt Options) cacheConfig() core.CacheConfig {
+	return core.CacheConfig{
+		CapacityElems: opt.CacheElems,
+		Ways:          opt.Ways,
+		LineElems:     opt.LineElems,
+	}
+}
+
 // Candidate is one evaluated tile assignment.
 type Candidate struct {
 	Tiles  map[string]int64
@@ -100,6 +121,9 @@ type Result struct {
 func Search(a *core.Analysis, opt Options) (*Result, error) {
 	if len(opt.Dims) == 0 {
 		return nil, fmt.Errorf("tilesearch: no dimensions to search")
+	}
+	if err := opt.cacheConfig().Validate(); err != nil {
+		return nil, err
 	}
 	if opt.MinTile <= 0 {
 		opt.MinTile = 4

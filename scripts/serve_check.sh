@@ -36,6 +36,12 @@ check 200 /v1/analyze    '{"kernel":"matmul","n":16,"tiles":[4,4,4]}'
 check 200 /v1/predict    '{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4}'
 check 200 /v1/tilesearch '{"kernel":"matmul","n":32,"tiles":[4,4,4],"cacheKB":4,"dims":{"TI":32,"TJ":32,"TK":32}}'
 
+# The set-associative geometry fields: a direct-mapped predict answers 200,
+# an invalid geometry (ways not dividing the line count) is a 400.
+check 200 /v1/predict    '{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4,"ways":1,"line":4}'
+check 400 /v1/predict    '{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4,"ways":3}'
+check 200 /v1/tilesearch '{"kernel":"matmul","n":32,"tiles":[4,4,4],"cacheKB":4,"ways":2,"dims":{"TI":32,"TJ":32,"TK":32}}'
+
 # Every simulation engine must answer 200 on the same problem; an unknown
 # engine is a 400, and the analytic engine answers the n=2048 problem that
 # the exact engine's trace budget rejects.
