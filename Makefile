@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet race fuzz-smoke bench bench-sim bench-eval bench-assoc bench-serve serve-check cover golden
+.PHONY: all build test check vet race fuzz-smoke bench bench-sim bench-eval bench-assoc bench-serve bench-serve-smoke serve-check cover golden
 
 all: build
 
@@ -66,8 +66,17 @@ bench-assoc:
 # Serving-layer load test: 32 closed-loop clients against an in-process
 # server, every response verified byte-for-byte against the direct library
 # call, throughput and latency percentiles written to BENCH_serve.json.
+# Scenarios: predict-hot, mixed, the batch 1/8/64 sweep (items/sec and
+# speedup vs predict-hot), NDJSON streaming, and the 64-client storm
+# (single-request p99 with batch traffic in the mix).
 bench-serve:
 	$(GO) run ./cmd/loadgen -clients 32 -duration 2s -o BENCH_serve.json
+
+# Short regression tripwire for the batch amortization claim: asserts
+# batch-64 items/sec ≥ 3× the predict-hot request rate. CI-friendly.
+bench-serve-smoke:
+	$(GO) run ./cmd/loadgen -scenario batch -batch-size 64 -smoke \
+		-clients 16 -duration 500ms -o ""
 
 # End-to-end analysisd lifecycle check: start, readiness, one request per
 # endpoint, SIGTERM, clean drain.

@@ -5,7 +5,7 @@
 // response byte-for-byte against the direct library computation; -addr
 // points it at an already-running analysisd instead.
 //
-// Two scenarios are measured:
+// Scenarios (-scenario selects one, default all):
 //
 //   - predict-hot: one predict request (tiled matmul n=64) repeated by
 //     every client — after the first computation the response is served
@@ -13,14 +13,29 @@
 //     ceiling (the ≥10k requests/sec acceptance bar lives here);
 //   - mixed: a multi-endpoint script (two predicts, an analyze, and a
 //     simulate through each engine — exact, analytic, sampled) with
-//     distinct cache keys, the cache-churn picture.
+//     distinct cache keys, the cache-churn picture;
+//   - batch: /v1/batch candidates sweeps at batch sizes 1, 8, 64
+//     (-batch-size pins one), every envelope byte-verified against the
+//     direct computation — the items/sec column is the amortization
+//     headline, reported as a speedup over predict-hot;
+//   - stream: NDJSON framing under load — a streamed batch whose bytes
+//     must equal the aggregate envelope's records re-framed as lines,
+//     and a streamed tile search whose result record must match the
+//     non-streaming response;
+//   - storm: 64 clients mixing single predicts with batch-64 sweeps;
+//     the tagged p99 of the singles against a singles-only baseline is
+//     the interference ratio (acceptance: within 1.5×).
+//
+// -smoke additionally asserts batch-64 items/sec ≥ 3× the predict-hot
+// request rate, the CI regression tripwire for the amortization claim.
 //
 // Usage:
 //
-//	loadgen [-clients 32] [-duration 2s] [-o BENCH_serve.json] [-addr URL]
+//	loadgen [-scenario all] [-clients 32] [-duration 2s] [-o BENCH_serve.json] [-addr URL] [-smoke]
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -40,6 +55,24 @@ type Scenario struct {
 	Result loadtest.Result `json:"result"`
 }
 
+// BatchPoint is one batch-size measurement of the batch scenario.
+type BatchPoint struct {
+	BatchSize           int             `json:"batch_size"`
+	Result              loadtest.Result `json:"result"`
+	ItemsPerSec         float64         `json:"items_per_sec"`
+	SpeedupVsPredictHot float64         `json:"speedup_vs_predict_hot,omitempty"`
+}
+
+// StormResult reports the interference measurement: single-request p99
+// with and without batch traffic sharing the worker pool.
+type StormResult struct {
+	Clients          int             `json:"clients"`
+	BaselineP99Nanos int64           `json:"baseline_p99_nanos"` // singles-only run
+	SinglesP99Nanos  int64           `json:"singles_p99_nanos"`  // singles inside the mixed run
+	P99Ratio         float64         `json:"p99_ratio"`
+	Result           loadtest.Result `json:"result"`
+}
+
 // Artifact is the BENCH_serve.json schema.
 type Artifact struct {
 	Generated string `json:"generated"`
@@ -57,19 +90,24 @@ type Artifact struct {
 		QueueDepth  int     `json:"queue_depth"`
 		InProcess   bool    `json:"in_process"`
 	} `json:"config"`
-	PredictHot Scenario `json:"predict_hot"`
-	Mixed      Scenario `json:"mixed"`
+	PredictHot *Scenario    `json:"predict_hot,omitempty"`
+	Mixed      *Scenario    `json:"mixed,omitempty"`
+	BatchHot   []BatchPoint `json:"batch_hot,omitempty"`
+	Stream     *Scenario    `json:"stream,omitempty"`
+	Storm      *StormResult `json:"storm,omitempty"`
 	// Server is the served process's cache/coalescing counters after the
 	// run (in-process mode only): the deterministic ones — lookups, hits,
 	// misses — plus the timing-dependent coalesced count.
 	Server map[string]int64 `json:"server,omitempty"`
 }
 
-var scenarios = struct{ predictHot, mixed []struct{ path, body string } }{
-	predictHot: []struct{ path, body string }{
+type scriptEntry struct{ path, body string }
+
+var scenarios = struct{ predictHot, mixed []scriptEntry }{
+	predictHot: []scriptEntry{
 		{"/v1/predict", `{"kernel":"matmul","n":64,"tiles":[8,8,8],"cacheKB":64}`},
 	},
-	mixed: []struct{ path, body string }{
+	mixed: []scriptEntry{
 		{"/v1/predict", `{"kernel":"matmul","n":64,"tiles":[8,8,8],"cacheKB":64}`},
 		{"/v1/predict", `{"kernel":"matmul","n":64,"tiles":[16,16,16],"cacheKB":64}`},
 		{"/v1/analyze", `{"kernel":"matmul","n":64,"tiles":[8,8,8]}`},
@@ -83,23 +121,99 @@ var scenarios = struct{ predictHot, mixed []struct{ path, body string } }{
 	},
 }
 
+// batchBody builds a /v1/batch candidates request of the given size: a
+// matmul n=64 spec swept over distinct tile triples drawn from the
+// divisors of 64, so every item is valid and every body is cache-hot
+// after the first round.
+func batchBody(size int) []byte {
+	divs := []int64{1, 2, 4, 8, 16, 32, 64}
+	sets := make([][3]int64, size)
+	for i := range sets {
+		sets[i] = [3]int64{divs[i%7], divs[(i/7)%7], divs[(i/49)%7]}
+	}
+	var buf bytes.Buffer
+	buf.WriteString(`{"candidates":{"kernel":"matmul","n":64,"tiles":[8,8,8],"cacheKB":64,"dims":["TI","TJ","TK"],"sets":[`)
+	for i, s := range sets {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, "[%d,%d,%d]", s[0], s[1], s[2])
+	}
+	buf.WriteString(`]}}`)
+	return buf.Bytes()
+}
+
+// streamWant reconstructs the NDJSON stream a batch envelope corresponds
+// to: each item record on its own line, then the summary trailer — the
+// exact bytes the server promises for ?stream=1.
+func streamWant(envelope []byte) ([]byte, error) {
+	var env struct {
+		Items   []json.RawMessage `json:"items"`
+		Summary json.RawMessage   `json:"summary"`
+	}
+	if err := json.Unmarshal(envelope, &env); err != nil {
+		return nil, fmt.Errorf("envelope: %w", err)
+	}
+	var buf bytes.Buffer
+	for _, it := range env.Items {
+		buf.Write(it)
+		buf.WriteByte('\n')
+	}
+	buf.WriteString(`{"summary":`)
+	buf.Write(env.Summary)
+	buf.WriteString("}\n")
+	return buf.Bytes(), nil
+}
+
+// ndjsonCheck enforces the framing contract on a streamed response: the
+// body ends on a line boundary, every line is valid JSON, and the last
+// line is a summary trailer.
+func ndjsonCheck(status int, body []byte) error {
+	if status != 200 {
+		return fmt.Errorf("status %d", status)
+	}
+	if len(body) == 0 || body[len(body)-1] != '\n' {
+		return fmt.Errorf("stream does not end on a line boundary")
+	}
+	lines := bytes.Split(bytes.TrimSuffix(body, []byte{'\n'}), []byte{'\n'})
+	for i, line := range lines {
+		if !json.Valid(line) {
+			return fmt.Errorf("record %d is not valid JSON", i)
+		}
+	}
+	if !bytes.Contains(lines[len(lines)-1], []byte(`"summary"`)) {
+		return fmt.Errorf("final record is not a summary trailer")
+	}
+	return nil
+}
+
 func main() {
 	var (
-		out      = flag.String("o", "BENCH_serve.json", "output artifact path")
+		out      = flag.String("o", "BENCH_serve.json", "output artifact path (empty = don't write)")
 		addr     = flag.String("addr", "", "base URL of a running analysisd (empty = in-process server)")
+		scenario = flag.String("scenario", "all", "scenario to run: all|predict-hot|mixed|batch|stream|storm")
+		batchSz  = flag.Int("batch-size", 0, "batch scenario size (0 = sweep 1, 8, 64)")
 		clients  = flag.Int("clients", 32, "concurrent closed-loop clients")
 		duration = flag.Duration("duration", 2*time.Second, "wall-clock duration per scenario")
 		workers  = flag.Int("workers", 0, "in-process server workers (0 = GOMAXPROCS)")
 		queue    = flag.Int("queue", 256, "in-process server queue depth")
+		smoke    = flag.Bool("smoke", false, "assert batch-64 items/sec ≥ 3× predict-hot request rate")
 	)
 	flag.Parse()
-	if err := run(*out, *addr, *clients, *duration, *workers, *queue); err != nil {
+	if err := run(*out, *addr, *scenario, *batchSz, *clients, *duration, *workers, *queue, *smoke); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, addr string, clients int, duration time.Duration, workers, queue int) error {
+func run(out, addr, scenario string, batchSz, clients int, duration time.Duration, workers, queue int, smoke bool) error {
+	want := func(name string) bool { return scenario == "all" || scenario == name }
+	switch scenario {
+	case "all", "predict-hot", "mixed", "batch", "stream", "storm":
+	default:
+		return fmt.Errorf("unknown -scenario %q", scenario)
+	}
+
 	var art Artifact
 	art.Generated = time.Now().UTC().Format(time.RFC3339)
 	art.Host.GOOS = runtime.GOOS
@@ -130,53 +244,228 @@ func run(out, addr string, clients int, duration time.Duration, workers, queue i
 		fmt.Printf("loadgen: in-process server on %s\n", sv.Addr())
 	}
 
-	buildScript := func(reqs []struct{ path, body string }) ([]loadtest.Request, []string, error) {
+	oracle := func(path, body string) ([]byte, error) {
+		data, err := svc.Compute(context.Background(), path, []byte(body))
+		if err != nil {
+			return nil, fmt.Errorf("direct compute %s: %w", path, err)
+		}
+		return data, nil
+	}
+
+	buildScript := func(reqs []scriptEntry) ([]loadtest.Request, []string, error) {
 		var script []loadtest.Request
 		var paths []string
 		for _, r := range reqs {
-			want, err := svc.Compute(context.Background(), r.path, []byte(r.body))
+			w, err := oracle(r.path, r.body)
 			if err != nil {
-				return nil, nil, fmt.Errorf("direct compute %s: %w", r.path, err)
+				return nil, nil, err
 			}
-			script = append(script, loadtest.Request{Path: r.path, Body: []byte(r.body), Want: want})
+			script = append(script, loadtest.Request{Path: r.path, Body: []byte(r.body), Want: w})
 			paths = append(paths, r.path)
 		}
 		return script, paths, nil
 	}
 
-	runScenario := func(name string, reqs []struct{ path, body string }) (Scenario, error) {
-		script, paths, err := buildScript(reqs)
-		if err != nil {
-			return Scenario{}, err
+	check := func(name string, res *loadtest.Result) error {
+		if res.Mismatches > 0 {
+			return fmt.Errorf("%s: %d responses differed from the direct library call", name, res.Mismatches)
 		}
+		if res.Errors > 0 {
+			return fmt.Errorf("%s: %d transport errors", name, res.Errors)
+		}
+		if res.CheckFailures > 0 {
+			return fmt.Errorf("%s: %d responses failed their framing check", name, res.CheckFailures)
+		}
+		return nil
+	}
+
+	report := func(name string, res *loadtest.Result) {
+		fmt.Printf("loadgen: %-11s %8.0f ok-req/s", name, res.Throughput)
+		if res.Items > res.Status[200] {
+			fmt.Printf("  %9.0f items/s", res.ItemsPerSec)
+		}
+		fmt.Printf("  p50 %s  p99 %s  (%d requests, %d verified, %d mismatches, %d errors)\n",
+			time.Duration(res.Latency.P50Nanos), time.Duration(res.Latency.P99Nanos),
+			res.Requests, res.Verified, res.Mismatches, res.Errors)
+	}
+
+	runScript := func(name string, nClients int, script []loadtest.Request) (*loadtest.Result, error) {
 		res, err := loadtest.Options{
 			BaseURL:  base,
-			Clients:  clients,
+			Clients:  nClients,
 			Duration: duration,
 			Script:   script,
 		}.Run()
 		if err != nil {
-			return Scenario{}, err
+			return nil, err
 		}
-		fmt.Printf("loadgen: %-11s %8.0f ok-req/s  p50 %s  p99 %s  (%d requests, %d verified, %d mismatches, %d errors)\n",
-			name, res.Throughput,
-			time.Duration(res.Latency.P50Nanos), time.Duration(res.Latency.P99Nanos),
-			res.Requests, res.Verified, res.Mismatches, res.Errors)
-		if res.Mismatches > 0 {
-			return Scenario{}, fmt.Errorf("%s: %d responses differed from the direct library call", name, res.Mismatches)
-		}
-		if res.Errors > 0 {
-			return Scenario{}, fmt.Errorf("%s: %d transport errors", name, res.Errors)
-		}
-		return Scenario{Script: paths, Result: *res}, nil
+		report(name, res)
+		return res, check(name, res)
 	}
 
-	var err error
-	if art.PredictHot, err = runScenario("predict-hot", scenarios.predictHot); err != nil {
-		return err
+	// predict-hot doubles as the baseline the batch speedup and the smoke
+	// assertion are measured against, so it runs whenever those do.
+	needBaseline := want("predict-hot") || want("batch") || smoke
+	if needBaseline {
+		script, paths, err := buildScript(scenarios.predictHot)
+		if err != nil {
+			return err
+		}
+		res, err := runScript("predict-hot", clients, script)
+		if err != nil {
+			return err
+		}
+		art.PredictHot = &Scenario{Script: paths, Result: *res}
 	}
-	if art.Mixed, err = runScenario("mixed", scenarios.mixed); err != nil {
-		return err
+
+	if want("mixed") {
+		script, paths, err := buildScript(scenarios.mixed)
+		if err != nil {
+			return err
+		}
+		res, err := runScript("mixed", clients, script)
+		if err != nil {
+			return err
+		}
+		art.Mixed = &Scenario{Script: paths, Result: *res}
+	}
+
+	if want("batch") || smoke {
+		sizes := []int{1, 8, 64}
+		if batchSz > 0 {
+			sizes = []int{batchSz}
+		} else if smoke && !want("batch") {
+			sizes = []int{64}
+		}
+		for _, size := range sizes {
+			body := batchBody(size)
+			w, err := oracle("/v1/batch", string(body))
+			if err != nil {
+				return err
+			}
+			name := fmt.Sprintf("batch-%d", size)
+			res, err := runScript(name, clients, []loadtest.Request{
+				{Path: "/v1/batch", Body: body, Want: w, Items: size},
+			})
+			if err != nil {
+				return err
+			}
+			pt := BatchPoint{BatchSize: size, Result: *res, ItemsPerSec: res.ItemsPerSec}
+			if art.PredictHot != nil && art.PredictHot.Result.Throughput > 0 {
+				pt.SpeedupVsPredictHot = res.ItemsPerSec / art.PredictHot.Result.Throughput
+				fmt.Printf("loadgen: %-11s speedup vs predict-hot: %.2fx\n", name, pt.SpeedupVsPredictHot)
+			}
+			art.BatchHot = append(art.BatchHot, pt)
+		}
+	}
+
+	if want("stream") {
+		// The streamed batch must be the aggregate envelope re-framed as
+		// NDJSON lines; the streamed tile search must end in an ok trailer
+		// with its result record equal to the non-streaming response.
+		bb := batchBody(8)
+		env, err := oracle("/v1/batch", string(bb))
+		if err != nil {
+			return err
+		}
+		sw, err := streamWant(env)
+		if err != nil {
+			return err
+		}
+		tsBody := `{"kernel":"matmul","n":32,"tiles":[4,4,4],"cacheKB":4,"dims":{"TI":32,"TJ":32,"TK":32}}`
+		tsDirect, err := oracle("/v1/tilesearch", tsBody)
+		if err != nil {
+			return err
+		}
+		tsResult := bytes.TrimSuffix(tsDirect, []byte{'\n'})
+		script := []loadtest.Request{
+			{Path: "/v1/batch?stream=1", Body: bb, Want: sw, Items: 8, Check: ndjsonCheck},
+			{Path: "/v1/tilesearch?stream=1", Body: []byte(tsBody), Check: func(status int, body []byte) error {
+				if err := ndjsonCheck(status, body); err != nil {
+					return err
+				}
+				lines := bytes.Split(bytes.TrimSuffix(body, []byte{'\n'}), []byte{'\n'})
+				if len(lines) < 2 {
+					return fmt.Errorf("only %d records", len(lines))
+				}
+				if string(lines[len(lines)-1]) != `{"summary":{"ok":true}}` {
+					return fmt.Errorf("trailer %s is not the ok summary", lines[len(lines)-1])
+				}
+				var rec struct {
+					Result json.RawMessage `json:"result"`
+				}
+				if err := json.Unmarshal(lines[len(lines)-2], &rec); err != nil || rec.Result == nil {
+					return fmt.Errorf("missing result record")
+				}
+				if !bytes.Equal(rec.Result, tsResult) {
+					return fmt.Errorf("streamed result differs from the direct computation")
+				}
+				return nil
+			}},
+		}
+		res, err := runScript("stream", clients, script)
+		if err != nil {
+			return err
+		}
+		art.Stream = &Scenario{Script: []string{"/v1/batch?stream=1", "/v1/tilesearch?stream=1"}, Result: *res}
+	}
+
+	if want("storm") {
+		// Interference: does batch traffic starve single requests? Measure
+		// the singles-only p99 under 64 clients, then re-run with batch-64
+		// sweeps mixed in and compare the tagged singles p99.
+		const stormClients = 64
+		pw, err := oracle(scenarios.predictHot[0].path, scenarios.predictHot[0].body)
+		if err != nil {
+			return err
+		}
+		single := loadtest.Request{
+			Path: scenarios.predictHot[0].path, Body: []byte(scenarios.predictHot[0].body),
+			Want: pw, Tag: "single",
+		}
+		baseRes, err := runScript("storm-base", stormClients, []loadtest.Request{single})
+		if err != nil {
+			return err
+		}
+		bb := batchBody(64)
+		bw, err := oracle("/v1/batch", string(bb))
+		if err != nil {
+			return err
+		}
+		mixedScript := []loadtest.Request{
+			single, single, single, single,
+			{Path: "/v1/batch", Body: bb, Want: bw, Items: 64, Tag: "batch"},
+		}
+		stormRes, err := runScript("storm-mixed", stormClients, mixedScript)
+		if err != nil {
+			return err
+		}
+		st := &StormResult{
+			Clients:          stormClients,
+			BaselineP99Nanos: baseRes.Latency.P99Nanos,
+			SinglesP99Nanos:  stormRes.ByTag["single"].P99Nanos,
+			Result:           *stormRes,
+		}
+		if st.BaselineP99Nanos > 0 {
+			st.P99Ratio = float64(st.SinglesP99Nanos) / float64(st.BaselineP99Nanos)
+		}
+		fmt.Printf("loadgen: storm       singles p99 %s vs baseline %s (%.2fx)\n",
+			time.Duration(st.SinglesP99Nanos), time.Duration(st.BaselineP99Nanos), st.P99Ratio)
+		art.Storm = st
+	}
+
+	if smoke {
+		if art.PredictHot == nil || len(art.BatchHot) == 0 {
+			return fmt.Errorf("smoke: need predict-hot and batch results")
+		}
+		pt := art.BatchHot[len(art.BatchHot)-1]
+		floor := 3 * art.PredictHot.Result.Throughput
+		if pt.ItemsPerSec < floor {
+			return fmt.Errorf("smoke: batch-%d %.0f items/s < 3× predict-hot %.0f req/s",
+				pt.BatchSize, pt.ItemsPerSec, art.PredictHot.Result.Throughput)
+		}
+		fmt.Printf("loadgen: smoke ok — batch-%d %.0f items/s ≥ 3× predict-hot %.0f req/s\n",
+			pt.BatchSize, pt.ItemsPerSec, art.PredictHot.Result.Throughput)
 	}
 
 	if sv != nil {
@@ -187,6 +476,7 @@ func run(out, addr string, clients int, duration time.Duration, workers, queue i
 			"service.cache.lookups", "service.cache.hits", "service.cache.misses",
 			"service.cache.coalesced", "service.cache.evictions",
 			"service.analyses.misses",
+			"service.batch.items", "service.batch.items.ok", "service.batch.items.errors",
 		} {
 			art.Server[name] = c[name]
 		}
@@ -199,6 +489,9 @@ func run(out, addr string, clients int, duration time.Duration, workers, queue i
 		svc.Close()
 	}
 
+	if out == "" {
+		return nil
+	}
 	data, err := json.MarshalIndent(&art, "", "  ")
 	if err != nil {
 		return err

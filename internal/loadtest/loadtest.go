@@ -27,6 +27,18 @@ type Request struct {
 	Path string
 	Body []byte
 	Want []byte
+	// Items is the number of work items a 200 of this request represents
+	// (0 means 1): a batch of 64 counts 64 toward Result.Items, which is
+	// what makes items/sec comparable across batch sizes.
+	Items int
+	// Tag, when non-empty, groups this request's latency samples under
+	// Result.ByTag — how the storm scenario separates single-request
+	// latency from batch latency inside one mixed script.
+	Tag string
+	// Check, when non-nil, validates every response of this request beyond
+	// the byte comparison (e.g. NDJSON framing rules); a non-nil return
+	// counts toward Result.CheckFailures.
+	Check func(status int, body []byte) error
 }
 
 // Options configures a run. Exactly one of Rounds and Duration selects the
@@ -42,15 +54,20 @@ type Options struct {
 
 // Result aggregates a run.
 type Result struct {
-	Requests   int64          `json:"requests"`
-	Verified   int64          `json:"verified"`   // 200s checked against Want
-	Mismatches int64          `json:"mismatches"` // 200s whose bytes differed
-	Errors     int64          `json:"errors"`     // transport failures
-	Status     map[int]int64  `json:"status"`     // responses by HTTP status
-	Elapsed    time.Duration  `json:"-"`
-	ElapsedSec float64        `json:"elapsed_sec"`
-	Throughput float64        `json:"requests_per_sec"` // 200s per second
-	Latency    LatencySummary `json:"latency"`
+	Requests      int64          `json:"requests"`
+	Verified      int64          `json:"verified"`   // 200s checked against Want
+	Mismatches    int64          `json:"mismatches"` // 200s whose bytes differed
+	Errors        int64          `json:"errors"`     // transport failures
+	CheckFailures int64          `json:"check_failures,omitempty"`
+	Status        map[int]int64  `json:"status"` // responses by HTTP status
+	Elapsed       time.Duration  `json:"-"`
+	ElapsedSec    float64        `json:"elapsed_sec"`
+	Throughput    float64        `json:"requests_per_sec"` // 200s per second
+	Items         int64          `json:"items,omitempty"`  // work items in 200s
+	ItemsPerSec   float64        `json:"items_per_sec,omitempty"`
+	Latency       LatencySummary `json:"latency"`
+	// ByTag holds per-tag latency summaries for scripts that tag requests.
+	ByTag map[string]LatencySummary `json:"by_tag,omitempty"`
 }
 
 // LatencySummary reports request-latency percentiles in nanoseconds,
@@ -77,8 +94,10 @@ func (o Options) Run() (*Result, error) {
 
 	type clientStats struct {
 		requests, verified, mismatches, errors int64
+		items, checkFails                      int64
 		status                                 map[int]int64
 		latencies                              []time.Duration
+		byTag                                  map[string][]time.Duration
 	}
 	stats := make([]clientStats, o.Clients)
 	var stop atomic.Bool
@@ -119,13 +138,32 @@ func (o Options) Run() (*Result, error) {
 					st.errors++
 					continue
 				}
-				st.latencies = append(st.latencies, time.Since(t0))
+				lat := time.Since(t0)
+				st.latencies = append(st.latencies, lat)
+				if req.Tag != "" {
+					if st.byTag == nil {
+						st.byTag = map[string][]time.Duration{}
+					}
+					st.byTag[req.Tag] = append(st.byTag[req.Tag], lat)
+				}
 				st.requests++
 				st.status[resp.StatusCode]++
-				if resp.StatusCode == http.StatusOK && req.Want != nil {
-					st.verified++
-					if !bytes.Equal(body, req.Want) {
-						st.mismatches++
+				if resp.StatusCode == http.StatusOK {
+					if req.Items > 1 {
+						st.items += int64(req.Items)
+					} else {
+						st.items++
+					}
+					if req.Want != nil {
+						st.verified++
+						if !bytes.Equal(body, req.Want) {
+							st.mismatches++
+						}
+					}
+				}
+				if req.Check != nil {
+					if err := req.Check(resp.StatusCode, body); err != nil {
+						st.checkFails++
 					}
 				}
 			}
@@ -136,19 +174,32 @@ func (o Options) Run() (*Result, error) {
 
 	res := &Result{Status: map[int]int64{}, Elapsed: elapsed, ElapsedSec: elapsed.Seconds()}
 	var all []time.Duration
+	tagged := map[string][]time.Duration{}
 	for c := range stats {
 		st := &stats[c]
 		res.Requests += st.requests
 		res.Verified += st.verified
 		res.Mismatches += st.mismatches
 		res.Errors += st.errors
+		res.Items += st.items
+		res.CheckFailures += st.checkFails
 		for code, n := range st.status {
 			res.Status[code] += n
 		}
 		all = append(all, st.latencies...)
+		for tag, lats := range st.byTag {
+			tagged[tag] = append(tagged[tag], lats...)
+		}
 	}
 	res.Throughput = float64(res.Status[http.StatusOK]) / elapsed.Seconds()
+	res.ItemsPerSec = float64(res.Items) / elapsed.Seconds()
 	res.Latency = summarize(all)
+	if len(tagged) > 0 {
+		res.ByTag = make(map[string]LatencySummary, len(tagged))
+		for tag, lats := range tagged {
+			res.ByTag[tag] = summarize(lats)
+		}
+	}
 	return res, nil
 }
 

@@ -53,6 +53,25 @@ func (p *workPool) trySubmit(fn func()) bool {
 	}
 }
 
+// trySubmitBatch atomically enqueues all of fns or none of them: a batch
+// must not partially enter the queue, or a rejected batch would still
+// consume compute. The full lock excludes concurrent trySubmit senders
+// (they hold the read lock) and other batches, so the free-slot check and
+// the sends are one atomic step; workers only drain the channel, which can
+// only widen the observed gap between the check and the sends.
+func (p *workPool) trySubmitBatch(fns []func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || len(fns) > cap(p.tasks)-len(p.tasks) {
+		return false
+	}
+	for _, fn := range fns {
+		p.tasks <- fn
+	}
+	p.depth.Add(int64(len(fns)))
+	return true
+}
+
 // close stops admission, runs every already-accepted task to completion,
 // and waits for the workers to exit. Part of the drain path: the HTTP
 // server is shut down first, so no handler can be mid-trySubmit here.

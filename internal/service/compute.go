@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -8,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/cachesim"
 	"repro/internal/cachesim/analytic"
@@ -42,39 +44,41 @@ type NestRequest struct {
 	Env    map[string]int64 `json:"env,omitempty"`
 }
 
-// resolve turns a NestRequest into a canonical spec. Canonicalization is
-// what makes request keys insensitive to array order, env order,
-// whitespace, comments and irrelevant bindings.
-func (nr *NestRequest) resolve() (*loopir.Spec, error) {
+// resolve turns a NestRequest into a canonical spec plus the parsed nest.
+// Canonicalization is what makes request keys insensitive to array order,
+// env order, whitespace, comments and irrelevant bindings. The returned
+// nest is what the batch candidates form validates its tile symbols
+// against; single-request planning ignores it.
+func (nr *NestRequest) resolve() (*loopir.Spec, *loopir.Nest, error) {
 	switch {
 	case nr.Nest != "" && nr.Kernel != "":
-		return nil, fmt.Errorf("%w: request has both nest and kernel; use one", errBadRequest)
+		return nil, nil, fmt.Errorf("%w: request has both nest and kernel; use one", errBadRequest)
 	case nr.Nest != "":
 		spec := &loopir.Spec{Nest: nr.Nest, Env: nr.Env}
-		c, _, err := spec.Canonicalize()
+		c, nest, err := spec.Canonicalize()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return c, nil
+		return c, nest, nil
 	case nr.Kernel != "":
 		if nr.N <= 0 {
-			return nil, fmt.Errorf("%w: kernel request needs n >= 1", errBadRequest)
+			return nil, nil, fmt.Errorf("%w: kernel request needs n >= 1", errBadRequest)
 		}
 		nest, env, err := experiments.BuildKernel(nr.Kernel, nr.N, nr.Tiles)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for k, v := range nr.Env {
 			env[k] = v
 		}
-		return loopir.SpecOf(nest, env), nil
+		return loopir.SpecOf(nest, env), nest, nil
 	}
-	return nil, fmt.Errorf("%w: request needs a nest or a kernel", errBadRequest)
+	return nil, nil, fmt.Errorf("%w: request needs a nest or a kernel", errBadRequest)
 }
 
 // decodeInto strictly decodes a request body.
 func decodeInto(body []byte, v any) error {
-	dec := json.NewDecoder(strings.NewReader(string(body)))
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&v); err != nil {
 		return fmt.Errorf("%w: %v", errBadRequest, err)
@@ -131,15 +135,36 @@ func effectiveLine(cfg core.CacheConfig) int64 {
 	return cfg.LineElems
 }
 
-// marshal renders every response: indented deterministic JSON with a
-// trailing newline, so cached bytes, direct Compute calls and golden files
-// compare byte-for-byte.
+// encBufPool recycles the buffer+encoder pairs marshal renders responses
+// through, so the warm path reuses its encoding machinery instead of
+// rebuilding it per response.
+var encBufPool = sync.Pool{New: func() any {
+	buf := new(bytes.Buffer)
+	return &encBuf{buf: buf, enc: json.NewEncoder(buf)}
+}}
+
+type encBuf struct {
+	buf *bytes.Buffer
+	enc *json.Encoder
+}
+
+// marshal renders every response: compact deterministic JSON with a
+// trailing newline, so cached bytes, direct Compute calls, batch item
+// records and golden files compare byte-for-byte. Compact is the stored
+// and served form (it is also what NDJSON framing requires of embedded
+// records); human-readable output is an HTTP-layer presentation behind
+// ?pretty=1. The returned slice is freshly owned — the cache retains it —
+// while the encoding scratch is pooled.
 func marshal(v any) ([]byte, error) {
-	data, err := json.MarshalIndent(v, "", "  ")
-	if err != nil {
+	eb := encBufPool.Get().(*encBuf)
+	eb.buf.Reset()
+	if err := eb.enc.Encode(v); err != nil {
+		encBufPool.Put(eb)
 		return nil, err
 	}
-	return append(data, '\n'), nil
+	data := append([]byte(nil), eb.buf.Bytes()...)
+	encBufPool.Put(eb)
+	return data, nil
 }
 
 // AnalyzeRequest selects a nest; bindings are accepted but irrelevant (the
@@ -382,6 +407,15 @@ func (s *Service) computePredict(ctx context.Context, spec *loopir.Spec, cfg cor
 // pool slot would oversubscribe the host. A per-request obs registry
 // collects the phase counters for the response.
 func (s *Service) computeTileSearch(ctx context.Context, spec *loopir.Spec, req *TileSearchRequest, cfg core.CacheConfig) ([]byte, error) {
+	return s.computeTileSearchProgress(ctx, spec, req, cfg, nil)
+}
+
+// computeTileSearchProgress is computeTileSearch with an optional phase
+// callback: the NDJSON streaming path receives one event per completed
+// search phase and the response bytes stay byte-identical to the
+// non-streaming computation (progress only adds observations, never
+// changes the search).
+func (s *Service) computeTileSearchProgress(ctx context.Context, spec *loopir.Spec, req *TileSearchRequest, cfg core.CacheConfig, progress func(tilesearch.ProgressEvent)) ([]byte, error) {
 	if len(req.Dims) == 0 {
 		return nil, fmt.Errorf("%w: tilesearch request needs dims", errBadRequest)
 	}
@@ -400,6 +434,7 @@ func (s *Service) computeTileSearch(ctx context.Context, spec *loopir.Spec, req 
 		DivisorOf:  req.DivisorOf,
 		Context:    ctx,
 		Obs:        m,
+		Progress:   progress,
 	})
 	if err != nil {
 		return nil, err
@@ -559,11 +594,27 @@ func normWatches(watches, watchKB []int64) ([]int64, error) {
 // returned bytes are exactly what the corresponding handler serves on a
 // 200.
 func (s *Service) Compute(ctx context.Context, path string, body []byte) ([]byte, error) {
+	if path == "/v1/batch" {
+		return s.computeBatchDirect(ctx, body)
+	}
 	_, compute, err := s.plan(path, body)
 	if err != nil {
 		return nil, err
 	}
 	return compute(ctx)
+}
+
+// statusOf maps a per-item batch error to the status code the equivalent
+// single request would have received: the batch taxonomy is the endpoint
+// taxonomy, applied per item.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrOverload):
+		return 429
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return 504
+	}
+	return 400
 }
 
 // plan parses a request body for an endpoint path and returns its cache
@@ -577,7 +628,7 @@ func (s *Service) plan(path string, body []byte) (string, func(context.Context) 
 		if err := decodeInto(body, &req); err != nil {
 			return "", nil, err
 		}
-		spec, err := req.resolve()
+		spec, _, err := req.resolve()
 		if err != nil {
 			return "", nil, err
 		}
@@ -589,7 +640,7 @@ func (s *Service) plan(path string, body []byte) (string, func(context.Context) 
 		if err := decodeInto(body, &req); err != nil {
 			return "", nil, err
 		}
-		spec, err := req.resolve()
+		spec, _, err := req.resolve()
 		if err != nil {
 			return "", nil, err
 		}
@@ -609,7 +660,7 @@ func (s *Service) plan(path string, body []byte) (string, func(context.Context) 
 		if err := decodeInto(body, &req); err != nil {
 			return "", nil, err
 		}
-		spec, err := req.resolve()
+		spec, _, err := req.resolve()
 		if err != nil {
 			return "", nil, err
 		}
@@ -629,7 +680,7 @@ func (s *Service) plan(path string, body []byte) (string, func(context.Context) 
 		if err := decodeInto(body, &req); err != nil {
 			return "", nil, err
 		}
-		spec, err := req.resolve()
+		spec, _, err := req.resolve()
 		if err != nil {
 			return "", nil, err
 		}

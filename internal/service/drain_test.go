@@ -54,6 +54,12 @@ func TestDrainUnderStorm(t *testing.T) {
 		struct{ path, body string }{"/v1/analyze", `{"kernel":"matmul","n":16,"tiles":[4,4,4]}`},
 		struct{ path, body string }{"/v1/simulate", `{"kernel":"matmul","n":8,"tiles":[4,4,4],"watchKB":[1]}`},
 		struct{ path, body string }{"/v1/predict", `{"kernel":"matmul","n":16}`}, // 400: no capacity
+		// Batch traffic in the mix: a candidates sweep (multi-slot atomic
+		// admission racing the singles), a heterogeneous items batch, and a
+		// malformed batch for the error path.
+		struct{ path, body string }{"/v1/batch", `{"candidates":{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4,"dims":["TI","TJ","TK"],"sets":[[2,4,4],[4,4,4],[8,4,4]]}}`},
+		struct{ path, body string }{"/v1/batch", `{"items":[{"path":"/v1/analyze","request":{"kernel":"matmul","n":16,"tiles":[4,4,4]}},{"path":"/v1/predict","request":{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4}}]}`},
+		struct{ path, body string }{"/v1/batch", `{}`}, // 400: empty batch
 	)
 
 	var drainStarted atomic.Bool
@@ -121,7 +127,7 @@ func TestDrainUnderStorm(t *testing.T) {
 	// Metric balance: no handler path may leak a request.
 	c := m.Counters()
 	var sum int64
-	for _, ep := range []string{"analyze", "predict", "tilesearch", "simulate"} {
+	for _, ep := range []string{"analyze", "predict", "tilesearch", "simulate", "batch"} {
 		req := c["service."+ep+".requests"]
 		acc := c["service."+ep+".ok"] + c["service."+ep+".errors"] + c["service."+ep+".rejected"]
 		if req != acc {
@@ -131,6 +137,11 @@ func TestDrainUnderStorm(t *testing.T) {
 	}
 	if total := c["service.requests"]; total != sum {
 		t.Errorf("service.requests %d != per-endpoint sum %d", total, sum)
+	}
+	// Per-item accounting balances the same way: every admitted batch item
+	// resolves to exactly one of ok/errors.
+	if items, acc := c["service.batch.items"], c["service.batch.items.ok"]+c["service.batch.items.errors"]; items != acc {
+		t.Errorf("service.batch.items %d != items.ok+items.errors %d", items, acc)
 	}
 	if depth := m.Gauges()["service.queue.depth"]; depth != 0 {
 		t.Errorf("queue depth %d after drain, want 0", depth)

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -26,11 +27,21 @@ func (s *Service) Handler() http.Handler {
 	for _, ep := range []struct{ name, path string }{
 		{"analyze", "/v1/analyze"},
 		{"predict", "/v1/predict"},
-		{"tilesearch", "/v1/tilesearch"},
 		{"simulate", "/v1/simulate"},
 	} {
 		mux.Handle(ep.path, s.endpoint(ep.path, s.eps[ep.name]))
 	}
+	// /v1/tilesearch dispatches on ?stream=1: the sweep-shaped endpoint
+	// gets an NDJSON variant; plain requests keep the shared lifecycle.
+	tsPlain := s.endpoint("/v1/tilesearch", s.eps["tilesearch"])
+	mux.HandleFunc("/v1/tilesearch", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("stream") == "1" {
+			s.serveTileSearchStream(w, r)
+			return
+		}
+		tsPlain(w, r)
+	})
+	mux.Handle("/v1/batch", s.batchEndpoint())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
 			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
@@ -56,6 +67,13 @@ func (s *Service) endpoint(path string, st *epStats) http.HandlerFunc {
 		if r.Method != http.MethodPost {
 			st.errors.Inc()
 			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+			return
+		}
+		if r.URL.Query().Get("stream") == "1" {
+			// Streaming exists where incremental records exist: tilesearch
+			// and batch. Point lookups answer in one record.
+			st.errors.Inc()
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "streaming is not supported on this endpoint"})
 			return
 		}
 		if s.draining.Load() {
@@ -112,7 +130,11 @@ func (s *Service) endpoint(path string, st *epStats) http.HandlerFunc {
 			st.ok.Inc()
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusOK)
-			w.Write(e.val)
+			if r.URL.Query().Get("pretty") == "1" {
+				writePretty(w, e.val)
+			} else {
+				w.Write(e.val)
+			}
 		case errors.Is(e.err, ErrOverload):
 			st.rejected.Inc()
 			w.Header().Set("Retry-After", "1")
@@ -125,6 +147,19 @@ func (s *Service) endpoint(path string, st *epStats) http.HandlerFunc {
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: e.err.Error()})
 		}
 	}
+}
+
+// writePretty re-indents a cached compact response for human readers.
+// Cached and verified bytes stay compact — pretty is presentation only,
+// applied at write time, never stored.
+func writePretty(w io.Writer, data []byte) {
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, bytes.TrimSuffix(data, []byte{'\n'}), "", "  "); err != nil {
+		w.Write(data)
+		return
+	}
+	buf.WriteByte('\n')
+	w.Write(buf.Bytes())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

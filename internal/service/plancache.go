@@ -8,30 +8,82 @@ import (
 	"repro/internal/obs"
 )
 
-// planCache memoizes request planning — JSON decode, kernel construction,
-// nest parse, canonicalization, key packing — by exact (path, body) bytes.
-// Planning is deterministic, so identical bodies always reproduce the same
-// canonical key and an equivalent computation; memoizing it moves the
-// per-request hot path of a cache-hit request from "parse and canonicalize
-// a nest" to "one map lookup". It is strictly an optimization: a body that
-// misses here is planned from scratch and a hit can never change a
-// response, only skip recomputing its key.
-//
-// Planning errors are cached too (they are equally deterministic), which
-// also bounds the work a client re-sending a malformed body can cause.
-// Only small bodies are memoized so the cache's memory stays bounded by
-// planCacheCap * maxPlanBody.
-type planCache struct {
+// memoLRU is a bounded, mutex-guarded memo table keyed by exact bytes with
+// LRU eviction: the shared machinery behind the single-request plan memo
+// and the batch-plan memo. Lookups take the key as a []byte built into
+// reused scratch — the []byte→string conversion inside the map index does
+// not allocate, so a warm-path hit costs one lock and one map probe; the
+// key string is materialized only when an entry is installed.
+type memoLRU[V any] struct {
 	mu      sync.Mutex
+	cap     int
 	lru     *list.List
 	entries map[string]*list.Element
 
 	hits, misses *obs.Counter
 }
 
-// planned is one memoized planning outcome.
+// memoEntry is one memoized value.
+type memoEntry[V any] struct {
+	key string
+	val V
+}
+
+func newMemoLRU[V any](capacity int, m *obs.Metrics, prefix string) *memoLRU[V] {
+	return &memoLRU[V]{
+		cap:     capacity,
+		lru:     list.New(),
+		entries: map[string]*list.Element{},
+		hits:    m.Counter(prefix + ".hits"),
+		misses:  m.Counter(prefix + ".misses"),
+	}
+}
+
+// get looks key up, refreshing its LRU position. The zero-allocation hit
+// path of the serving layer's request planning.
+func (c *memoLRU[V]) get(key []byte) (V, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[string(key)]; ok {
+		c.lru.MoveToFront(el)
+		v := el.Value.(*memoEntry[V]).val
+		c.mu.Unlock()
+		c.hits.Inc()
+		return v, true
+	}
+	c.mu.Unlock()
+	var zero V
+	return zero, false
+}
+
+// put installs key→val unless a concurrent put won the race (first insert
+// wins — planning is deterministic, so the values are equivalent), then
+// evicts down to capacity.
+func (c *memoLRU[V]) put(key []byte, val V) {
+	c.mu.Lock()
+	if _, ok := c.entries[string(key)]; !ok {
+		k := string(key)
+		c.entries[k] = c.lru.PushFront(&memoEntry[V]{key: k, val: val})
+		for c.lru.Len() > c.cap {
+			el := c.lru.Back()
+			c.lru.Remove(el)
+			delete(c.entries, el.Value.(*memoEntry[V]).key)
+		}
+	}
+	c.mu.Unlock()
+	c.misses.Inc()
+}
+
+// planned is one memoized single-request planning outcome: JSON decode,
+// kernel construction, nest parse, canonicalization, key packing. Planning
+// is deterministic, so identical bodies always reproduce the same canonical
+// key and an equivalent computation; memoizing it moves the per-request hot
+// path of a cache-hit request from "parse and canonicalize a nest" to "one
+// map lookup". It is strictly an optimization: a body that misses here is
+// planned from scratch and a hit can never change a response, only skip
+// recomputing its key. Planning errors are cached too (they are equally
+// deterministic), which also bounds the work a client re-sending a
+// malformed body can cause.
 type planned struct {
-	memoKey string
 	key     string
 	compute func(context.Context) ([]byte, error)
 	err     error
@@ -40,48 +92,57 @@ type planned struct {
 const (
 	planCacheCap = 1024
 	maxPlanBody  = 4 << 10
+
+	batchPlanCacheCap = 128
+	maxBatchPlanBody  = 64 << 10
 )
 
-func newPlanCache(m *obs.Metrics) *planCache {
-	return &planCache{
-		lru:     list.New(),
-		entries: map[string]*list.Element{},
-		hits:    m.Counter("service.plans.hits"),
-		misses:  m.Counter("service.plans.misses"),
-	}
+// memoKeyPool recycles the scratch the memo keys are assembled into.
+var memoKeyPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// memoKeyOf renders (path, body) into scratch as path NUL body. The scratch
+// pointer comes from memoKeyPool.
+func memoKeyOf(scratch []byte, path string, body []byte) []byte {
+	scratch = append(scratch[:0], path...)
+	scratch = append(scratch, 0)
+	return append(scratch, body...)
 }
 
-// planCached resolves a request through the memo. Concurrent first
-// requests for a body may plan it twice; the duplicate insert loses and
-// the work is discarded — planning is cheap enough that singleflight
-// machinery here would cost more than it saves.
+// planCached resolves a request through the plan memo. Only small bodies
+// are memoized so the cache's memory stays bounded by planCacheCap *
+// maxPlanBody.
 func (s *Service) planCached(path string, body []byte) (string, func(context.Context) ([]byte, error), error) {
 	if len(body) > maxPlanBody {
 		return s.plan(path, body)
 	}
-	c := s.plans
-	memoKey := path + "\x00" + string(body)
-	c.mu.Lock()
-	if el, ok := c.entries[memoKey]; ok {
-		c.lru.MoveToFront(el)
-		p := el.Value.(*planned)
-		c.mu.Unlock()
-		c.hits.Inc()
+	kp := memoKeyPool.Get().(*[]byte)
+	*kp = memoKeyOf(*kp, path, body)
+	if p, ok := s.plans.get(*kp); ok {
+		memoKeyPool.Put(kp)
 		return p.key, p.compute, p.err
 	}
-	c.mu.Unlock()
-
 	key, compute, err := s.plan(path, body)
-	c.mu.Lock()
-	if _, ok := c.entries[memoKey]; !ok {
-		c.entries[memoKey] = c.lru.PushFront(&planned{memoKey: memoKey, key: key, compute: compute, err: err})
-		for c.lru.Len() > planCacheCap {
-			el := c.lru.Back()
-			c.lru.Remove(el)
-			delete(c.entries, el.Value.(*planned).memoKey)
-		}
-	}
-	c.mu.Unlock()
-	c.misses.Inc()
+	s.plans.put(*kp, &planned{key: key, compute: compute, err: err})
+	memoKeyPool.Put(kp)
 	return key, compute, err
+}
+
+// planBatchCached resolves a /v1/batch body through the batch-plan memo:
+// the whole per-request tax — envelope decode, per-item planning, candidate
+// expansion — collapses to one map probe when the same batch body repeats,
+// which is exactly the cache-hot sweep shape the batch endpoint amortizes.
+func (s *Service) planBatchCached(body []byte) *batchPlan {
+	if len(body) > maxBatchPlanBody {
+		return s.planBatch(body)
+	}
+	kp := memoKeyPool.Get().(*[]byte)
+	*kp = memoKeyOf(*kp, "/v1/batch", body)
+	if p, ok := s.batchPlans.get(*kp); ok {
+		memoKeyPool.Put(kp)
+		return p
+	}
+	p := s.planBatch(body)
+	s.batchPlans.put(*kp, p)
+	memoKeyPool.Put(kp)
+	return p
 }

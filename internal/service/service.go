@@ -70,6 +70,11 @@ type Config struct {
 	// MaxSampledTraceLen is MaxTraceLen's counterpart for engine=sampled;
 	// 0 means 32 × MaxTraceLen.
 	MaxSampledTraceLen int64
+	// MaxBatchItems caps the item count of one /v1/batch request; 0 means
+	// 256. A batch above the cap is rejected whole with 429 — the same
+	// answer an atomically-unschedulable batch gets — so clients have one
+	// retry story for "too much at once".
+	MaxBatchItems int
 	// Obs receives the service instruments (see README's Observability
 	// section); nil disables instrumentation.
 	Obs *obs.Metrics
@@ -97,6 +102,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSampledTraceLen <= 0 {
 		c.MaxSampledTraceLen = 32 * c.MaxTraceLen
 	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
+	}
 	return c
 }
 
@@ -108,11 +116,21 @@ type Service struct {
 	pool     *workPool
 	resp     *flightCache[[]byte]
 	analyses *flightCache[*core.Analysis]
-	plans    *planCache
-	draining atomic.Bool
+	plans    *memoLRU[*planned]
+	// batchPlans memoizes whole /v1/batch bodies → decoded, per-item-planned
+	// batch plans, so a repeated batch costs one map probe instead of a
+	// decode plus N plannings.
+	batchPlans *memoLRU[*batchPlan]
+	draining   atomic.Bool
 
 	total *obs.Counter // "service.requests"
 	eps   map[string]*epStats
+	// batchItems count per-item outcomes inside /v1/batch requests
+	// ("service.batch.items{,.ok,.errors}"); the request-level invariant
+	// stays on the "batch" epStats.
+	batchItems, batchItemsOK, batchItemsErr *obs.Counter
+	// streamFlush times each NDJSON record flush ("service.stream.flush").
+	streamFlush *obs.Timer
 	// engines counts /v1/simulate computations per engine
 	// ("service.simulate.engine.<e>"): computations, not requests — cache
 	// hits and coalesced waiters reuse the leader's computation.
@@ -132,16 +150,21 @@ func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	m := cfg.Obs
 	s := &Service{
-		cfg:      cfg,
-		m:        m,
-		resp:     newFlightCache[[]byte](cfg.CacheEntries, m, "service.cache"),
-		analyses: newFlightCache[*core.Analysis](cfg.AnalysisEntries, m, "service.analyses"),
-		plans:    newPlanCache(m),
-		total:    m.Counter("service.requests"),
-		eps:      map[string]*epStats{},
+		cfg:           cfg,
+		m:             m,
+		resp:          newFlightCache[[]byte](cfg.CacheEntries, m, "service.cache"),
+		analyses:      newFlightCache[*core.Analysis](cfg.AnalysisEntries, m, "service.analyses"),
+		plans:         newMemoLRU[*planned](planCacheCap, m, "service.plans"),
+		batchPlans:    newMemoLRU[*batchPlan](batchPlanCacheCap, m, "service.batchplans"),
+		total:         m.Counter("service.requests"),
+		eps:           map[string]*epStats{},
+		batchItems:    m.Counter("service.batch.items"),
+		batchItemsOK:  m.Counter("service.batch.items.ok"),
+		batchItemsErr: m.Counter("service.batch.items.errors"),
+		streamFlush:   m.Timer("service.stream.flush"),
 	}
 	s.pool = newWorkPool(cfg.Workers, cfg.QueueDepth, m.Gauge("service.queue.depth"))
-	for _, ep := range []string{"analyze", "predict", "tilesearch", "simulate"} {
+	for _, ep := range []string{"analyze", "predict", "tilesearch", "simulate", "batch"} {
 		s.eps[ep] = &epStats{
 			requests: m.Counter("service." + ep + ".requests"),
 			ok:       m.Counter("service." + ep + ".ok"),

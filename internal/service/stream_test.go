@@ -1,0 +1,291 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+const tsStreamFixture = `{"kernel":"matmul","n":32,"tiles":[4,4,4],"cacheKB":4,"dims":{"TI":32,"TJ":32,"TK":32}}`
+
+// ndjsonLines splits a streamed body into its records, requiring every
+// line (including the last) to be newline-terminated valid JSON — the
+// framing contract: no truncated lines, ever.
+func ndjsonLines(t *testing.T, body []byte) [][]byte {
+	t.Helper()
+	if len(body) == 0 || body[len(body)-1] != '\n' {
+		t.Fatalf("stream does not end on a line boundary: %q", body)
+	}
+	var lines [][]byte
+	for _, line := range bytes.Split(bytes.TrimSuffix(body, []byte{'\n'}), []byte{'\n'}) {
+		if !json.Valid(line) {
+			t.Fatalf("invalid NDJSON record: %q", line)
+		}
+		lines = append(lines, line)
+	}
+	return lines
+}
+
+// TestTileSearchStreamGolden pins the streamed NDJSON output: phase
+// records in deterministic order, a result record byte-identical to the
+// non-streaming response, and the ok trailer.
+func TestTileSearchStreamGolden(t *testing.T) {
+	svc, _ := newTestService(t)
+	h := svc.Handler()
+	w := post(t, h, "/v1/tilesearch?stream=1", tsStreamFixture)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != ndjsonContentType {
+		t.Errorf("Content-Type %q, want %q", ct, ndjsonContentType)
+	}
+	got := w.Body.Bytes()
+	lines := ndjsonLines(t, got)
+	if len(lines) < 4 {
+		t.Fatalf("only %d records; want coarse, frontier, refines, result, summary:\n%s", len(lines), got)
+	}
+	if string(lines[len(lines)-1]) != `{"summary":{"ok":true}}` {
+		t.Errorf("trailer %s, want ok summary", lines[len(lines)-1])
+	}
+
+	// The embedded result is the non-streaming endpoint's response.
+	var resultRec struct {
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(lines[len(lines)-2], &resultRec); err != nil || resultRec.Result == nil {
+		t.Fatalf("second-to-last record is not a result: %s", lines[len(lines)-2])
+	}
+	direct, err := svc.Compute(context.Background(), "/v1/tilesearch", []byte(tsStreamFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resultRec.Result, bytes.TrimSuffix(direct, []byte{'\n'})) {
+		t.Errorf("streamed result differs from direct Compute:\nstream: %s\ndirect: %s", resultRec.Result, direct)
+	}
+
+	// Phase records lead with the coarse sweep; every one carries a best.
+	var first struct {
+		Phase      string `json:"phase"`
+		Candidates int64  `json:"candidates"`
+	}
+	if err := json.Unmarshal(lines[0], &first); err != nil || first.Phase != "coarse" || first.Candidates == 0 {
+		t.Errorf("first record %s, want a coarse phase with candidates", lines[0])
+	}
+
+	golden := filepath.Join("testdata", "tilesearch_stream.golden.ndjson")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("stream differs from %s:\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// TestBatchStream: the streamed batch emits exactly the envelope's item
+// records as lines plus the summary trailer, so stream and aggregate forms
+// are two framings of identical bytes.
+func TestBatchStream(t *testing.T) {
+	svc, _ := newTestService(t)
+	h := svc.Handler()
+	w := post(t, h, "/v1/batch?stream=1", batchFixture)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	lines := ndjsonLines(t, w.Body.Bytes())
+
+	agg := post(t, h, "/v1/batch", batchFixture)
+	if agg.Code != http.StatusOK {
+		t.Fatalf("aggregate status %d", agg.Code)
+	}
+	var env batchEnvelope
+	if err := json.Unmarshal(agg.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(env.Items)+1 {
+		t.Fatalf("%d stream records for %d items (+1 summary)", len(lines), len(env.Items))
+	}
+	// Each line must byte-match the corresponding aggregate record; rebuild
+	// the aggregate's records the same way the server does.
+	for i, it := range env.Items {
+		var wantRec []byte
+		if it.OK {
+			wantRec = appendItemRecord(nil, i, append(it.Response, '\n'), nil)
+		} else {
+			if !bytes.Contains(lines[i], []byte(`"ok":false`)) {
+				t.Errorf("line %d should be an error record: %s", i, lines[i])
+			}
+			continue
+		}
+		if !bytes.Equal(lines[i], wantRec) {
+			t.Errorf("stream line %d differs from aggregate record:\nstream: %s\nagg:    %s", i, lines[i], wantRec)
+		}
+	}
+	wantTrailer := append([]byte(`{"summary":`), appendBatchSummary(nil, env.Summary.Items, env.Summary.OK, env.Summary.Errors)...)
+	wantTrailer = append(wantTrailer, '}')
+	if !bytes.Equal(lines[len(lines)-1], wantTrailer) {
+		t.Errorf("trailer %s, want %s", lines[len(lines)-1], wantTrailer)
+	}
+}
+
+// TestStreamNotSupported: point-lookup endpoints reject ?stream=1 loudly
+// instead of silently answering one JSON document.
+func TestStreamNotSupported(t *testing.T) {
+	svc, _ := newTestService(t)
+	h := svc.Handler()
+	for _, path := range []string{"/v1/analyze", "/v1/predict", "/v1/simulate"} {
+		w := post(t, h, path+"?stream=1", `{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4}`)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s?stream=1: status %d, want 400", path, w.Code)
+		}
+	}
+}
+
+// TestPretty: ?pretty=1 re-indents the compact cached bytes at write time;
+// the cache itself stays compact (the second compact request proves it).
+func TestPretty(t *testing.T) {
+	svc, _ := newTestService(t)
+	h := svc.Handler()
+	body := `{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4}`
+	compact := post(t, h, "/v1/predict", body)
+	pretty := post(t, h, "/v1/predict?pretty=1", body)
+	if compact.Code != http.StatusOK || pretty.Code != http.StatusOK {
+		t.Fatalf("status %d / %d", compact.Code, pretty.Code)
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, bytes.TrimSuffix(compact.Body.Bytes(), []byte{'\n'}), "", "  "); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte('\n')
+	if !bytes.Equal(pretty.Body.Bytes(), buf.Bytes()) {
+		t.Errorf("pretty output is not the indentation of the compact bytes:\n%s", pretty.Body.String())
+	}
+	if bytes.Equal(pretty.Body.Bytes(), compact.Body.Bytes()) {
+		t.Error("pretty and compact responses are identical")
+	}
+	again := post(t, h, "/v1/predict", body)
+	if !bytes.Equal(again.Body.Bytes(), compact.Body.Bytes()) {
+		t.Error("compact bytes changed after a pretty request (cache contaminated)")
+	}
+}
+
+// TestStreamClientDisconnect: a client that walks away mid-stream cancels
+// the search — the worker-pool slot is released (the single worker can
+// serve the next request) and the endpoint's metric balance still holds.
+func TestStreamClientDisconnect(t *testing.T) {
+	m := obs.New()
+	svc := New(Config{Obs: m, Workers: 1, QueueDepth: 1})
+	t.Cleanup(svc.Close)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+
+	// A search big enough to outlive the first record read.
+	big := `{"kernel":"matmul","n":4096,"cacheKB":256,"dims":{"TI":4096,"TJ":4096,"TK":4096}}`
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		srv.URL+"/v1/tilesearch?stream=1", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// Read one record, then hang up.
+	if _, err := bufio.NewReader(resp.Body).ReadBytes('\n'); err != nil {
+		t.Fatalf("first record: %v", err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The slot must come back: the same single-worker pool serves a fresh
+	// request promptly.
+	waitUntil(t, "handler finish", func() bool {
+		c := m.Counters()
+		return c["service.tilesearch.ok"]+c["service.tilesearch.errors"]+c["service.tilesearch.rejected"] ==
+			c["service.tilesearch.requests"]
+	})
+	r2, err := http.Post(srv.URL+"/v1/predict", "application/json",
+		strings.NewReader(`{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Errorf("request after disconnect: status %d, want 200 (slot leaked?)", r2.StatusCode)
+	}
+}
+
+// TestDrainDuringStream: a drain beginning mid-stream lets the stream run
+// to its trailer — SIGTERM never truncates a record — while new requests
+// are turned away.
+func TestDrainDuringStream(t *testing.T) {
+	m := obs.New()
+	svc := New(Config{Obs: m, Workers: 2, QueueDepth: 4})
+	sv, err := Serve("127.0.0.1:0", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + sv.Addr()
+
+	big := `{"kernel":"matmul","n":1024,"cacheKB":64,"dims":{"TI":1024,"TJ":1024,"TK":1024}}`
+	resp, err := http.Post(base+"/v1/tilesearch?stream=1", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadBytes('\n'); err != nil {
+		t.Fatalf("first record: %v", err)
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- sv.Drain(ctx)
+	}()
+
+	// Read the remainder; the final line must be a well-formed trailer.
+	var last []byte
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(line) > 0 {
+			last = append(last[:0], line...)
+		}
+		if err != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	if !bytes.HasSuffix(last, []byte("\n")) || !json.Valid(bytes.TrimSuffix(last, []byte{'\n'})) {
+		t.Fatalf("stream ended on a truncated line: %q", last)
+	}
+	if !bytes.Contains(last, []byte(`"summary"`)) {
+		t.Errorf("final record %s is not a summary trailer", last)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

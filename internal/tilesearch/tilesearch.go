@@ -88,6 +88,21 @@ type Options struct {
 	// Trace, when non-nil, records one span per search phase (coarse,
 	// frontier, each refinement round) annotated with candidate counts.
 	Trace *obs.Trace
+	// Progress, when non-nil, is invoked synchronously from the search
+	// goroutine after each phase completes: once for the coarse sweep, once
+	// for the frontier cut, and once per refinement round. Events arrive in
+	// a deterministic order with deterministic contents at every
+	// Parallelism level (each phase is a barrier), which is what lets the
+	// serving layer stream them as incremental NDJSON records.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent reports one completed search phase to Options.Progress.
+type ProgressEvent struct {
+	Phase      string    // "coarse", "frontier" or "refine"
+	Round      int64     // refinement round (1-based); 0 for coarse/frontier
+	Candidates int64     // candidates evaluated in this phase (frontier: survivors)
+	Best       Candidate // best candidate known after this phase
 }
 
 // cacheConfig packs the cache geometry options into a core.CacheConfig.
@@ -153,6 +168,9 @@ func Search(a *core.Analysis, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opt.Progress != nil {
+		opt.Progress(ProgressEvent{Phase: "coarse", Candidates: int64(len(coarseAssigns)), Best: bestOf(coarse)})
+	}
 
 	// Phase 2: keep the frontier — candidates whose every single-dimension
 	// doubling either leaves the grid or pushes an additional stack
@@ -166,6 +184,9 @@ func Search(a *core.Analysis, opt Options) (*Result, error) {
 	span.SetAttr("size", int64(len(frontier)))
 	span.End()
 	m.Gauge("search.frontier.size").Set(int64(len(frontier)))
+	if opt.Progress != nil {
+		opt.Progress(ProgressEvent{Phase: "frontier", Candidates: int64(len(frontier)), Best: bestOf(frontier)})
+	}
 
 	// Phase 3: refine around frontier points with halved steps. Each
 	// round's neighborhood is enumerated in deterministic order and scored
@@ -204,6 +225,9 @@ func Search(a *core.Analysis, opt Options) (*Result, error) {
 		b := bestOf(pool)
 		if b.Misses < best.Misses {
 			best = b
+		}
+		if opt.Progress != nil {
+			opt.Progress(ProgressEvent{Phase: "refine", Round: round, Candidates: int64(len(assigns)), Best: best})
 		}
 		// Phase 4: prune to the most promising candidates before the next
 		// refinement round.

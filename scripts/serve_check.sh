@@ -8,7 +8,9 @@ log=$(mktemp)
 trap 'rm -f "$log"; kill "$pid" 2>/dev/null || true' EXIT
 
 go build -o /tmp/analysisd ./cmd/analysisd
-/tmp/analysisd -addr 127.0.0.1:0 >"$log" 2>&1 &
+# -max-batch 4 so the oversized-batch rejection below is reachable with a
+# small request.
+/tmp/analysisd -addr 127.0.0.1:0 -max-batch 4 >"$log" 2>&1 &
 pid=$!
 
 # Wait for the listen line and extract the bound address.
@@ -52,6 +54,25 @@ check 200 /v1/simulate '{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4
 check 400 /v1/simulate '{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4],"engine":"bogus"}'
 check 400 /v1/simulate '{"kernel":"matmul","n":2048,"tiles":[64,64,64],"watchKB":[16],"engine":"exact"}'
 check 200 /v1/simulate '{"kernel":"matmul","n":2048,"tiles":[64,64,64],"watchKB":[16],"engine":"analytic"}'
+
+# Batch: a mixed items+candidates happy path answers 200 with a fully-ok
+# summary; a batch above -max-batch is rejected whole with 429.
+batch_body='{"candidates":{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4,"dims":["TI","TJ","TK"],"sets":[[2,4,4],[4,4,4],[8,8,8]]}}'
+resp=$(curl -s -X POST -d "$batch_body" "$base/v1/batch")
+case $resp in
+    *'"summary":{"items":3,"ok":3,"errors":0}'*) ;;
+    *) echo "serve_check: batch summary wrong: $resp"; exit 1 ;;
+esac
+check 429 /v1/batch '{"candidates":{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4,"dims":["TI","TJ","TK"],"sets":[[2,4,4],[4,4,4],[8,8,8],[2,2,2],[4,2,2]]}}'
+
+# Streaming: the batch stream ends in the counting trailer, the tilesearch
+# stream in the ok trailer, and ?stream=1 on a point endpoint is a 400.
+last=$(curl -s -X POST -d "$batch_body" "$base/v1/batch?stream=1" | tail -n 1)
+[ "$last" = '{"summary":{"items":3,"ok":3,"errors":0}}' ] || { echo "serve_check: batch stream trailer: $last"; exit 1; }
+last=$(curl -s -X POST -d '{"kernel":"matmul","n":32,"tiles":[4,4,4],"cacheKB":4,"dims":{"TI":32,"TJ":32,"TK":32}}' \
+    "$base/v1/tilesearch?stream=1" | tail -n 1)
+[ "$last" = '{"summary":{"ok":true}}' ] || { echo "serve_check: tilesearch stream trailer: $last"; exit 1; }
+check 400 '/v1/predict?stream=1' '{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4}'
 
 # Graceful drain: SIGTERM must produce a clean exit and the drain line.
 kill -TERM "$pid"
