@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet race fuzz-smoke bench bench-sim bench-eval bench-assoc bench-serve bench-serve-smoke serve-check cover golden
+.PHONY: all build test check vet race fuzz-smoke bench bench-sim bench-eval bench-assoc bench-serve bench-serve-smoke bench-optimize serve-check cover golden
 
 all: build
 
@@ -22,13 +22,16 @@ race:
 
 # A 10-second no-panic fuzz of AnalyzeWithOptions + Search on top of the
 # checked-in seed corpus, plus the cross-engine simulation invariants:
-# analytic vs exact agreement, the sampled estimator's bounds, and the
-# set-associative simulator's batched-vs-scalar equivalence.
+# analytic vs exact agreement, the sampled estimator's bounds, the
+# set-associative simulator's batched-vs-scalar equivalence, and the
+# transformation-plan legality contract (plans apply cleanly or reject
+# before evaluation, and applied plans preserve execution semantics).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzAnalyzeNoPanic$$' -fuzztime 10s ./internal/tilesearch
 	$(GO) test -run '^$$' -fuzz '^FuzzAnalyticVsExact$$' -fuzztime 10s ./internal/validate
 	$(GO) test -run '^$$' -fuzz '^FuzzSampledBounds$$' -fuzztime 10s ./internal/validate
 	$(GO) test -run '^$$' -fuzz '^FuzzAssocBlockVsScalar$$' -fuzztime 10s ./internal/cachesim
+	$(GO) test -run '^$$' -fuzz '^FuzzPlanLegality$$' -fuzztime 10s ./internal/loopir
 
 check: vet race fuzz-smoke
 
@@ -77,6 +80,16 @@ bench-serve:
 bench-serve-smoke:
 	$(GO) run ./cmd/loadgen -scenario batch -batch-size 64 -smoke \
 		-clients 16 -duration 500ms -o ""
+
+# Joint transformation-search benchmarks (the plan search vs the tile-only
+# baseline on the committed workloads) and the BENCH_opt.json artifact,
+# sharing internal/optbench the same way bench-sim shares internal/simbench.
+# The smoke run fails if any workload's joint winner stops strictly beating
+# its tile-only baseline.
+bench-optimize:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/optbench
+	$(GO) run ./cmd/optbench -o BENCH_opt.json
+	$(GO) run ./cmd/optbench -smoke
 
 # End-to-end analysisd lifecycle check: start, readiness, one request per
 # endpoint, SIGTERM, clean drain.

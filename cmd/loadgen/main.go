@@ -11,17 +11,17 @@
 //     every client — after the first computation the response is served
 //     from the coalescing cache, so this measures the serving overhead
 //     ceiling (the ≥10k requests/sec acceptance bar lives here);
-//   - mixed: a multi-endpoint script (two predicts, an analyze, and a
-//     simulate through each engine — exact, analytic, sampled) with
-//     distinct cache keys, the cache-churn picture;
+//   - mixed: a multi-endpoint script (two predicts, an analyze, a
+//     simulate through each engine — exact, analytic, sampled — and a
+//     joint optimize) with distinct cache keys, the cache-churn picture;
 //   - batch: /v1/batch candidates sweeps at batch sizes 1, 8, 64
 //     (-batch-size pins one), every envelope byte-verified against the
 //     direct computation — the items/sec column is the amortization
 //     headline, reported as a speedup over predict-hot;
 //   - stream: NDJSON framing under load — a streamed batch whose bytes
 //     must equal the aggregate envelope's records re-framed as lines,
-//     and a streamed tile search whose result record must match the
-//     non-streaming response;
+//     and streamed tile and joint-plan searches whose result records
+//     must match the non-streaming responses;
 //   - storm: 64 clients mixing single predicts with batch-64 sweeps;
 //     the tagged p99 of the singles against a singles-only baseline is
 //     the interference ratio (acceptance: within 1.5×).
@@ -118,6 +118,9 @@ var scenarios = struct{ predictHot, mixed []scriptEntry }{
 		{"/v1/simulate", `{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4],"engine":"analytic"}`},
 		{"/v1/simulate", `{"kernel":"matmul","n":256,"tiles":[32,32,32],"watchKB":[16],"engine":"analytic"}`},
 		{"/v1/simulate", `{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4],"engine":"sampled"}`},
+		// The joint transformation-plan search on the unfused two-index
+		// chain — the heaviest per-miss computation in the mix.
+		{"/v1/optimize", `{"kernel":"twoindexchain","n":32,"cacheElems":256,"autoTile":false}`},
 	},
 }
 
@@ -372,15 +375,11 @@ func run(out, addr, scenario string, batchSz, clients int, duration time.Duratio
 		if err != nil {
 			return err
 		}
-		tsBody := `{"kernel":"matmul","n":32,"tiles":[4,4,4],"cacheKB":4,"dims":{"TI":32,"TJ":32,"TK":32}}`
-		tsDirect, err := oracle("/v1/tilesearch", tsBody)
-		if err != nil {
-			return err
-		}
-		tsResult := bytes.TrimSuffix(tsDirect, []byte{'\n'})
-		script := []loadtest.Request{
-			{Path: "/v1/batch?stream=1", Body: bb, Want: sw, Items: 8, Check: ndjsonCheck},
-			{Path: "/v1/tilesearch?stream=1", Body: []byte(tsBody), Check: func(status int, body []byte) error {
+		// A result-bearing stream's last two records must be the direct
+		// computation's bytes and the ok trailer; tilesearch and optimize
+		// share the contract.
+		resultStreamCheck := func(want []byte) func(int, []byte) error {
+			return func(status int, body []byte) error {
 				if err := ndjsonCheck(status, body); err != nil {
 					return err
 				}
@@ -397,17 +396,34 @@ func run(out, addr, scenario string, batchSz, clients int, duration time.Duratio
 				if err := json.Unmarshal(lines[len(lines)-2], &rec); err != nil || rec.Result == nil {
 					return fmt.Errorf("missing result record")
 				}
-				if !bytes.Equal(rec.Result, tsResult) {
+				if !bytes.Equal(rec.Result, want) {
 					return fmt.Errorf("streamed result differs from the direct computation")
 				}
 				return nil
-			}},
+			}
+		}
+		tsBody := `{"kernel":"matmul","n":32,"tiles":[4,4,4],"cacheKB":4,"dims":{"TI":32,"TJ":32,"TK":32}}`
+		tsDirect, err := oracle("/v1/tilesearch", tsBody)
+		if err != nil {
+			return err
+		}
+		optBody := `{"kernel":"twoindexchain","n":32,"cacheElems":256,"autoTile":false}`
+		optDirect, err := oracle("/v1/optimize", optBody)
+		if err != nil {
+			return err
+		}
+		script := []loadtest.Request{
+			{Path: "/v1/batch?stream=1", Body: bb, Want: sw, Items: 8, Check: ndjsonCheck},
+			{Path: "/v1/tilesearch?stream=1", Body: []byte(tsBody),
+				Check: resultStreamCheck(bytes.TrimSuffix(tsDirect, []byte{'\n'}))},
+			{Path: "/v1/optimize?stream=1", Body: []byte(optBody),
+				Check: resultStreamCheck(bytes.TrimSuffix(optDirect, []byte{'\n'}))},
 		}
 		res, err := runScript("stream", clients, script)
 		if err != nil {
 			return err
 		}
-		art.Stream = &Scenario{Script: []string{"/v1/batch?stream=1", "/v1/tilesearch?stream=1"}, Result: *res}
+		art.Stream = &Scenario{Script: []string{"/v1/batch?stream=1", "/v1/tilesearch?stream=1", "/v1/optimize?stream=1"}, Result: *res}
 	}
 
 	if want("storm") {

@@ -1,0 +1,163 @@
+// Command optbench measures the joint transformation-plan search against
+// the tile-only baseline and writes the BENCH_opt.json artifact committed
+// at the repository root. It runs exactly the workloads that the go-test
+// benchmarks in internal/optbench measure, through the same helpers, so
+// the artifact and `make bench-optimize` output cannot drift apart.
+//
+// Per workload the artifact records both searches' best predicted miss
+// counts and wall times: what the structural axes (permutation, fusion,
+// auto-tiling) buy, and what enumerating them costs.
+//
+// -smoke skips the artifact and instead trips if any workload's joint
+// winner fails to strictly beat its tile-only baseline — the CI regression
+// tripwire for the structural axes.
+//
+// Usage:
+//
+//	optbench [-o BENCH_opt.json] [-j N]
+//	optbench -smoke
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/optbench"
+)
+
+// Row is one workload's measurements.
+type Row struct {
+	Name    string `json:"name"`
+	Kernel  string `json:"kernel"`
+	N       int64  `json:"n"`
+	CacheKB int64  `json:"cache_kb"`
+	Ways    int64  `json:"ways,omitempty"`
+	Line    int64  `json:"line,omitempty"`
+
+	Variants  int    `json:"variants"`
+	Skipped   int    `json:"skipped"`
+	Evaluated int    `json:"evaluated"`
+	BestPlan  string `json:"best_plan"`
+
+	TileOnlyMisses int64   `json:"tile_only_misses"`
+	JointMisses    int64   `json:"joint_misses"`
+	MissRatio      float64 `json:"miss_ratio"` // joint / tile-only, < 1 is a win
+
+	TileOnlyWallNs int64 `json:"tile_only_wall_ns"`
+	JointWallNs    int64 `json:"joint_wall_ns"`
+}
+
+// Artifact is the BENCH_opt.json schema.
+type Artifact struct {
+	Generated string `json:"generated"`
+	Host      struct {
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		NumCPU     int    `json:"num_cpu"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		GoVersion  string `json:"go_version"`
+	} `json:"host"`
+	Rows []Row `json:"rows"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_opt.json", "artifact output path (empty writes to stdout)")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "tile-search parallelism inside each variant")
+	smokeOnly := flag.Bool("smoke", false, "run the joint-beats-tile-only check instead of writing the artifact")
+	flag.Parse()
+	if err := run(*out, *jobs, *smokeOnly); err != nil {
+		fmt.Fprintln(os.Stderr, "optbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, jobs int, smokeOnly bool) error {
+	if smokeOnly {
+		return smoke(jobs)
+	}
+	var art Artifact
+	art.Generated = time.Now().UTC().Format(time.RFC3339)
+	art.Host.GOOS = runtime.GOOS
+	art.Host.GOARCH = runtime.GOARCH
+	art.Host.NumCPU = runtime.NumCPU()
+	art.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	art.Host.GoVersion = runtime.Version()
+
+	for _, wl := range optbench.Workloads() {
+		row, err := measure(wl, jobs)
+		if err != nil {
+			return err
+		}
+		art.Rows = append(art.Rows, row)
+		fmt.Printf("%-24s joint %d (%s, %v) vs tile-only %d (%v) — ratio %.3f\n",
+			wl.Name, row.JointMisses, row.BestPlan, time.Duration(row.JointWallNs),
+			row.TileOnlyMisses, time.Duration(row.TileOnlyWallNs), row.MissRatio)
+	}
+
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("artifact written to %s\n", out)
+	return nil
+}
+
+func measure(wl optbench.Workload, jobs int) (Row, error) {
+	row := Row{Name: wl.Name, Kernel: wl.Kernel, N: wl.N, CacheKB: wl.CacheKB,
+		Ways: wl.Ways, Line: wl.Line}
+
+	start := time.Now()
+	base, err := optbench.RunTileOnly(wl, jobs)
+	if err != nil {
+		return row, err
+	}
+	row.TileOnlyWallNs = time.Since(start).Nanoseconds()
+	row.TileOnlyMisses = base.Best().Result.Best.Misses
+
+	start = time.Now()
+	joint, err := optbench.RunJoint(wl, jobs)
+	if err != nil {
+		return row, err
+	}
+	row.JointWallNs = time.Since(start).Nanoseconds()
+	row.JointMisses = joint.Best().Result.Best.Misses
+	row.BestPlan = joint.Best().Plan.String()
+	row.Variants = len(joint.Variants)
+	row.Skipped = joint.Skipped
+	row.Evaluated = joint.Evaluated
+	if row.TileOnlyMisses > 0 {
+		row.MissRatio = float64(row.JointMisses) / float64(row.TileOnlyMisses)
+	}
+	return row, nil
+}
+
+// smoke trips if the structural axes stopped paying for themselves: every
+// committed workload must see the joint winner strictly beat the tile-only
+// baseline in predicted misses.
+func smoke(jobs int) error {
+	for _, wl := range optbench.Workloads() {
+		row, err := measure(wl, jobs)
+		if err != nil {
+			return err
+		}
+		if row.JointMisses >= row.TileOnlyMisses {
+			return fmt.Errorf("smoke: %s: joint %d misses (plan %s) does not beat tile-only %d",
+				wl.Name, row.JointMisses, row.BestPlan, row.TileOnlyMisses)
+		}
+		fmt.Printf("smoke %s: joint %d (%s) < tile-only %d\n",
+			wl.Name, row.JointMisses, row.BestPlan, row.TileOnlyMisses)
+	}
+	return nil
+}

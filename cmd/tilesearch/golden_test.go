@@ -59,6 +59,17 @@ func TestGoldenSearchDirectMappedText(t *testing.T) {
 	golden(t, "search_matmul_n64_dm.txt", buf.Bytes())
 }
 
+// TestGoldenJointText pins the -joint output: the variant table for the
+// unfused two-index chain, where fusion beats the tile-only baseline.
+// Sequential so the per-variant tile counts are deterministic.
+func TestGoldenJointText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runJoint(&buf, "twoindexchain", 32, 2, 1, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "joint_twoindexchain_n32.txt", buf.Bytes())
+}
+
 // TestGoldenExhaustiveText pins the exhaustive-baseline output on a grid
 // small enough to score in milliseconds.
 func TestGoldenExhaustiveText(t *testing.T) {

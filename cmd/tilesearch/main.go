@@ -10,6 +10,15 @@
 //	tilesearch -kernel matmul -n 256 -cache-kb 4 -ways 1 -line 4
 //	tilesearch -kernel matmul -n 256 -report run.json
 //	tilesearch -table4 -debug-addr localhost:8080
+//	tilesearch -joint -kernel twoindexchain -n 32 -cache-kb 2
+//	tilesearch -joint -kernel matmul-naive -n 128 -cache-kb 16 -ways 8 -line 4
+//
+// -joint switches from the tile-only search to the joint transformation-
+// plan search: structural variants of the kernel (loop permutations, legal
+// fusions, auto-tiled forms) are enumerated under the dependence legality
+// checks and each is scored by its own tile search; the untiled kernel
+// kinds (matmul-naive, twoindexchain) are the natural inputs. -max-variants
+// caps the structural enumeration.
 //
 // -j spreads candidate evaluation over a worker pool; results are
 // byte-identical at every parallelism level. -exhaustive scores the full
@@ -51,12 +60,71 @@ func main() {
 		line       = flag.Int64("line", 0, "line size in elements for -ways (0 = one-element lines)")
 		report     = flag.String("report", "", "write a RunReport JSON artifact to this path")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		joint      = flag.Bool("joint", false, "run the joint permutation × fusion × tiling plan search")
+		maxVar     = flag.Int("max-variants", 0, "cap on structural variants for -joint (0 = default)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, os.Args[1:], *table4, *kernel, *n, *cacheKB, *jobs, *exhaustive, *ways, *line, *report, *debugAddr); err != nil {
+	var err error
+	if *joint {
+		err = runJoint(os.Stdout, *kernel, *n, *cacheKB, *jobs, *ways, *line, *maxVar)
+	} else {
+		err = run(os.Stdout, os.Args[1:], *table4, *kernel, *n, *cacheKB, *jobs, *exhaustive, *ways, *line, *report, *debugAddr)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tilesearch:", err)
 		os.Exit(1)
 	}
+}
+
+// runJoint executes one -joint invocation: build the kernel, enumerate and
+// score its legal transformation plans, and print the variant table with
+// the winner marked.
+func runJoint(w io.Writer, kernel string, n, cacheKB int64, jobs int, ways, line int64, maxVariants int) error {
+	nest, env, err := experiments.BuildKernel(kernel, n, nil)
+	if err != nil {
+		return err
+	}
+	pr, err := tilesearch.SearchPlans(nest, tilesearch.PlanOptions{
+		Options: tilesearch.Options{
+			CacheElems:  experiments.KB(cacheKB),
+			Ways:        ways,
+			LineElems:   line,
+			BaseEnv:     env,
+			Parallelism: jobs,
+		},
+		Permute:     true,
+		Fuse:        true,
+		AutoTile:    true,
+		MaxVariants: maxVariants,
+	})
+	if err != nil {
+		return err
+	}
+	geom := ""
+	if ways > 0 {
+		l := line
+		if l <= 0 {
+			l = 1
+		}
+		geom = fmt.Sprintf(" (%d-way, %d-element lines)", ways, l)
+	}
+	fmt.Fprintf(w, "joint plan search: kernel %s, N=%d, cache %d KB%s, %d workers\n", kernel, n, cacheKB, geom, jobs)
+	fmt.Fprintf(w, "variants scored: %d (%d skipped), %d tile candidates\n", len(pr.Variants), pr.Skipped, pr.Evaluated)
+	for i, v := range pr.Variants {
+		mark := ' '
+		if i == pr.BestIndex {
+			mark = '*'
+		}
+		tiles := ""
+		if len(v.Result.Best.Tiles) > 0 {
+			tiles = " tiles " + renderTiles(v.Result.Best.Tiles)
+		}
+		fmt.Fprintf(w, "%c [%d] %-40s misses %d%s\n", mark, i, v.Plan.String(), v.Result.Best.Misses, tiles)
+	}
+	best, base := pr.Best(), pr.Baseline()
+	fmt.Fprintf(w, "best: %s — misses %d (tile-only baseline %d)\n",
+		best.Plan.String(), best.Result.Best.Misses, base.Result.Best.Misses)
+	return nil
 }
 
 // run executes one tool invocation. args is recorded verbatim in the run

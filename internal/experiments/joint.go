@@ -1,12 +1,10 @@
 package experiments
 
 import (
-	"fmt"
+	"strings"
 
-	"repro/internal/core"
 	"repro/internal/expr"
 	"repro/internal/kernels"
-	"repro/internal/loopir"
 	"repro/internal/tilesearch"
 )
 
@@ -25,72 +23,43 @@ type JointResult struct {
 }
 
 // RunJointOptimization evaluates all six matmul loop orders, tiling each.
+// It is a view over the general plan search (tilesearch.SearchPlans with
+// the permutation and auto-tiling axes enabled): the tiled permutation
+// variants are exactly the old hand-rolled permute-then-strip-mine sweep.
 func RunJointOptimization(n int64, cacheElems int64) (*JointResult, error) {
 	base, err := kernels.Matmul()
 	if err != nil {
 		return nil, err
 	}
-	orders := [][]string{
-		{"i", "j", "k"}, {"i", "k", "j"}, {"j", "i", "k"},
-		{"j", "k", "i"}, {"k", "i", "j"}, {"k", "j", "i"},
-	}
-	res := &JointResult{PerOrder: map[string]tilesearch.Candidate{}, Misses: 1 << 62}
-	for _, ord := range orders {
-		perm, err := loopir.PermutePerfect(base, ord)
-		if err != nil {
-			return nil, err
-		}
-		chain, stmt, ok := perm.IsPerfect()
-		if !ok {
-			return nil, fmt.Errorf("experiments: permuted nest not perfect")
-		}
-		// Strip-mine the permuted order.
-		var indices []string
-		var trips []*expr.Expr
-		var tiles []loopir.TileSpec
-		var arrays []*loopir.Array
-		for _, a := range perm.Arrays {
-			arrays = append(arrays, a)
-		}
-		for _, l := range chain {
-			indices = append(indices, l.Index)
-			trips = append(trips, l.Trip)
-			tiles = append(tiles, loopir.DefaultTileSpec(l.Index, l.Trip))
-		}
-		spec := loopir.PerfectNestSpec{
-			Name:    perm.Name,
-			Arrays:  arrays,
-			Indices: indices,
-			Trips:   trips,
-			Stmt:    stmt,
-		}
-		tiled, err := loopir.TilePerfect(spec, tiles)
-		if err != nil {
-			return nil, err
-		}
-		a, err := core.Analyze(tiled)
-		if err != nil {
-			return nil, err
-		}
-		var dims []tilesearch.Dim
-		for _, ts := range tiles {
-			dims = append(dims, tilesearch.Dim{Symbol: ts.TileVar, Max: n})
-		}
-		sr, err := tilesearch.Search(a, tilesearch.Options{
-			Dims:       dims,
+	pr, err := tilesearch.SearchPlans(base, tilesearch.PlanOptions{
+		Options: tilesearch.Options{
 			CacheElems: cacheElems,
 			BaseEnv:    expr.Env{"N": n},
 			DivisorOf:  n,
-		})
-		if err != nil {
-			return nil, err
+		},
+		Permute:  true,
+		AutoTile: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &JointResult{PerOrder: map[string]tilesearch.Candidate{}, Misses: 1 << 62}
+	for _, v := range pr.Variants {
+		if len(v.Result.Best.Tiles) == 0 {
+			continue // untiled structural variant; PerOrder compares tiled optima
 		}
-		key := fmt.Sprintf("%s-%s-%s", ord[0], ord[1], ord[2])
-		res.PerOrder[key] = sr.Best
-		if sr.Best.Misses < res.Misses {
-			res.Misses = sr.Best.Misses
+		order := []string{"i", "j", "k"}
+		for _, st := range v.Plan {
+			if st.Op == "permute" {
+				order = st.Order
+			}
+		}
+		key := strings.Join(order, "-")
+		res.PerOrder[key] = v.Result.Best
+		if v.Result.Best.Misses < res.Misses {
+			res.Misses = v.Result.Best.Misses
 			res.Order = key
-			res.Tiles = sr.Best.Tiles
+			res.Tiles = v.Result.Best.Tiles
 		}
 	}
 	return res, nil

@@ -21,8 +21,37 @@ import (
 //	             AO range, the MO range is n/2)
 //	ccsd       — tiled CCSD doubles contraction R += W·T2 (6 tiles; n is
 //	             the virtual range, the occupied range is n/2)
+//
+// Two untiled kinds exist for the joint transformation search, which wants
+// structural freedom rather than pre-baked tiling:
+//
+//	matmul-naive  — the plain 3-loop matmul (no tiles)
+//	twoindexchain — the unfused two-index transform chain, Fig. 5 (no
+//	                tiles; n is the AO range, the MO range is n/2)
 func BuildKernel(kind string, n int64, tiles []int64) (*loopir.Nest, expr.Env, error) {
 	switch kind {
+	case "matmul-naive":
+		if len(tiles) != 0 {
+			return nil, nil, fmt.Errorf("matmul-naive takes no tile sizes (untiled form)")
+		}
+		nest, err := kernels.Matmul()
+		if err != nil {
+			return nil, nil, err
+		}
+		return nest, expr.Env{"N": n}, nil
+	case "twoindexchain":
+		if len(tiles) != 0 {
+			return nil, nil, fmt.Errorf("twoindexchain takes no tile sizes (untiled form)")
+		}
+		nest, err := tce.UnfusedTwoIndex(nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		v := n / 2
+		if v < 1 {
+			v = 1
+		}
+		return nest, expr.Env{"N": n, "V": v}, nil
 	case "matmul":
 		if len(tiles) == 0 {
 			tiles = []int64{32, 32, 32}
@@ -90,7 +119,7 @@ func BuildKernel(kind string, n int64, tiles []int64) (*loopir.Nest, expr.Env, e
 		env, err := kernels.CCSDEnv(n, o, tiles[0], tiles[1], tiles[2], tiles[3], tiles[4], tiles[5])
 		return nest, env, err
 	}
-	return nil, nil, fmt.Errorf("unknown kernel %q (want matmul, twoindex, fourindex or ccsd)", kind)
+	return nil, nil, fmt.Errorf("unknown kernel %q (want matmul, matmul-naive, twoindex, twoindexchain, fourindex or ccsd)", kind)
 }
 
 // LoadNestFile parses a loop nest from the textual format (see

@@ -98,7 +98,7 @@ func TestFusionHazardsPartialAccumulation(t *testing.T) {
 	if len(h) == 0 {
 		t.Fatal("partial-accumulation hazard not flagged")
 	}
-	if !strings.Contains(strings.Join(h, " "), "accumulation") {
+	if !strings.Contains(strings.Join(h, " "), "interleaving") {
 		t.Fatalf("unexpected hazard text: %v", h)
 	}
 }

@@ -10,6 +10,65 @@ package loopir
 //
 // The input nest is not modified; a new nest is returned.
 func FuseAdjacent(n *Nest) (*Nest, error) {
+	nodes, _ := fuseNodes(n, n.Root, false)
+	var arrays []*Array
+	for _, a := range n.Arrays {
+		arrays = append(arrays, a)
+	}
+	return NewNest(n.Name+"-fused", arrays, nodes)
+}
+
+// FuseLegal is FuseAdjacent gated by the dependence diagnostics: a pair of
+// fusable siblings is merged only when FusionHazards proves the merge safe,
+// so the result is a legal nest even outside the TCE-generated class. The
+// returned count is the number of loop pairs actually merged — zero means
+// fusion is a structural no-op on this nest (nothing fusable, or every
+// fusable pair is hazardous), which plan enumeration uses to discard the
+// step.
+func FuseLegal(n *Nest) (*Nest, int, error) {
+	nodes, merges := fuseNodes(n, n.Root, true)
+	var arrays []*Array
+	for _, a := range n.Arrays {
+		arrays = append(arrays, a)
+	}
+	fused, err := NewNest(n.Name+"-fused", arrays, nodes)
+	if err != nil {
+		return nil, 0, err
+	}
+	return fused, merges, nil
+}
+
+// fuseNodes is the shared walk of FuseAdjacent and FuseLegal: clone the
+// tree, merging adjacent same-index/same-trip sibling loops bottom-up. With
+// check set, a merge happens only when FusionHazards is empty on the pair.
+func fuseNodes(n *Nest, nodes []Node, check bool) ([]Node, int) {
+	merges := 0
+	tryMerge := func(prev, next *Loop) bool {
+		if prev.Index != next.Index || !prev.Trip.Equal(next.Trip) {
+			return false
+		}
+		if check && len(FusionHazards(n, prev, next)) > 0 {
+			return false
+		}
+		return true
+	}
+	// refuse merges fusable adjacent loops in an already-fused node list
+	// (used after concatenating two bodies exposes a new boundary).
+	var refuse func(nodes []Node) []Node
+	refuse = func(nodes []Node) []Node {
+		var out []Node
+		for _, nd := range nodes {
+			if l, ok := nd.(*Loop); ok && len(out) > 0 {
+				if prev, pok := out[len(out)-1].(*Loop); pok && tryMerge(prev, l) {
+					merges++
+					prev.Body = refuse(append(prev.Body, l.Body...))
+					continue
+				}
+			}
+			out = append(out, nd)
+		}
+		return out
+	}
 	var fuse func(nodes []Node) []Node
 	fuse = func(nodes []Node) []Node {
 		var out []Node
@@ -20,8 +79,8 @@ func FuseAdjacent(n *Nest) (*Nest, error) {
 			case *Loop:
 				body := fuse(v.Body)
 				if len(out) > 0 {
-					if prev, ok := out[len(out)-1].(*Loop); ok &&
-						prev.Index == v.Index && prev.Trip.Equal(v.Trip) {
+					if prev, ok := out[len(out)-1].(*Loop); ok && tryMerge(prev, &Loop{Index: v.Index, Trip: v.Trip, Body: body}) {
+						merges++
 						prev.Body = append(prev.Body, body...)
 						// Re-fuse inside the merged body: the two bodies'
 						// boundary may now have adjacent fusable loops.
@@ -34,28 +93,7 @@ func FuseAdjacent(n *Nest) (*Nest, error) {
 		}
 		return out
 	}
-	var arrays []*Array
-	for _, a := range n.Arrays {
-		arrays = append(arrays, a)
-	}
-	return NewNest(n.Name+"-fused", arrays, fuse(n.Root))
-}
-
-// refuse merges fusable adjacent loops in an already-fused node list (used
-// after concatenating two bodies).
-func refuse(nodes []Node) []Node {
-	var out []Node
-	for _, nd := range nodes {
-		if l, ok := nd.(*Loop); ok && len(out) > 0 {
-			if prev, pok := out[len(out)-1].(*Loop); pok &&
-				prev.Index == l.Index && prev.Trip.Equal(l.Trip) {
-				prev.Body = refuse(append(prev.Body, l.Body...))
-				continue
-			}
-		}
-		out = append(out, nd)
-	}
-	return out
+	return fuse(nodes), merges
 }
 
 // LoopCount returns the number of loop nodes in the nest — a simple

@@ -1,0 +1,218 @@
+package loopir_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/loopir"
+	"repro/internal/nestgen"
+	"repro/internal/tce"
+	"repro/internal/trace"
+)
+
+// runNest executes a nest numerically with deterministic integer-valued
+// initial data (exact in float64, so reassociated reductions compare
+// bit-equal) and returns the final contents of every array, sorted by name.
+func runNest(t *testing.T, n *loopir.Nest, env expr.Env) map[string][]float64 {
+	t.Helper()
+	e, err := trace.NewExecutor(n, env)
+	if err != nil {
+		t.Fatalf("%s: executor: %v", n.Name, err)
+	}
+	names := make([]string, 0, len(n.Arrays))
+	for name := range n.Arrays {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for ai, name := range names {
+		elems, err := n.Arrays[name].Elements().Eval(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]float64, elems)
+		for i := range data {
+			data[i] = float64((i+ai*3)%5 + 1)
+		}
+		if err := e.SetArray(name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run()
+	out := map[string][]float64{}
+	for _, name := range names {
+		data, err := e.Array(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = data
+	}
+	return out
+}
+
+func sameState(a, b map[string][]float64) (string, bool) {
+	for name, av := range a {
+		bv, ok := b[name]
+		if !ok || len(av) != len(bv) {
+			return name, false
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				return fmt.Sprintf("%s[%d]: %v vs %v", name, i, av[i], bv[i]), false
+			}
+		}
+	}
+	return "", true
+}
+
+func allOrders(indices []string) [][]string {
+	var out [][]string
+	var build func(prefix, rest []string)
+	build = func(prefix, rest []string) {
+		if len(rest) == 0 {
+			out = append(out, append([]string(nil), prefix...))
+			return
+		}
+		for i := range rest {
+			next := append(append([]string(nil), rest[:i]...), rest[i+1:]...)
+			build(append(prefix, rest[i]), next)
+		}
+	}
+	build(nil, indices)
+	return out
+}
+
+// TestPermutabilityCrossCheckCorpus is the deps.go ↔ executor cross-check:
+// on a corpus of generated perfect nests, an empty PermutationHazards list
+// must mean every loop order computes the same final memory state. The
+// corpus nests are reductions (Update targets), so the diagnostics claim
+// them fully permutable; the executor is the independent referee.
+func TestPermutabilityCrossCheckCorpus(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for id := 0; id < 24; id++ {
+		nest, env, err := nestgen.Generate(r, id, nestgen.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hz := loopir.PermutationHazards(nest); len(hz) != 0 {
+			t.Fatalf("%s: generated reduction reported hazards: %v", nest.Name, hz)
+		}
+		chain, _, ok := nest.IsPerfect()
+		if !ok {
+			t.Fatalf("%s: generated perfect nest is not perfect", nest.Name)
+		}
+		indices := make([]string, len(chain))
+		for i, l := range chain {
+			indices[i] = l.Index
+		}
+		want := runNest(t, nest, env)
+		for _, order := range allOrders(indices) {
+			perm, err := loopir.ApplyPlan(nest, loopir.Plan{{Op: "permute", Order: order}})
+			if err != nil {
+				t.Fatalf("%s: legal permutation %v rejected: %v", nest.Name, order, err)
+			}
+			got := runNest(t, perm, env)
+			if where, ok := sameState(want, got); !ok {
+				t.Fatalf("%s: order %v changes the result at %s — hazard analysis missed a dependence",
+					nest.Name, order, where)
+			}
+		}
+	}
+}
+
+// genFusableSiblings builds a nest of 2–3 sibling loops over a shared index
+// i (optionally with an inner j), each statement storing to one random
+// array and reading up to two — the shape FuseLegal must gate. nestgen's
+// imperfect nests give every branch fresh index names, so fusable siblings
+// are constructed here.
+func genFusableSiblings(t *testing.T, r *rand.Rand, id int) (*loopir.Nest, expr.Env) {
+	t.Helper()
+	n := expr.Var("N")
+	arrays := []*loopir.Array{
+		{Name: "A0", Dims: []*expr.Expr{n}},
+		{Name: "A1", Dims: []*expr.Expr{n}},
+		{Name: "A2", Dims: []*expr.Expr{n, n}},
+	}
+	subsFor := func(name string, avail []string) []loopir.Subscript {
+		if name == "A2" {
+			// Two-dimensional: needs two distinct indices (the class forbids
+			// one index in two subscripts), so A2 only appears in deep bodies.
+			return []loopir.Subscript{loopir.Idx(avail[0]), loopir.Idx(avail[1])}
+		}
+		return []loopir.Subscript{loopir.Idx(avail[r.Intn(len(avail))])}
+	}
+	var siblings []loopir.Node
+	stmtNo := 0
+	for s := 0; s < 2+r.Intn(2); s++ {
+		avail := []string{"i"}
+		deep := r.Intn(2) == 1
+		if deep {
+			avail = append(avail, "j")
+		}
+		stmtNo++
+		names := []string{"A0", "A1", "A2"}
+		if !deep {
+			names = names[:2]
+		}
+		store := names[r.Intn(len(names))]
+		mode := loopir.Update
+		if r.Intn(2) == 0 {
+			mode = loopir.Write
+		}
+		refs := []loopir.Ref{}
+		for _, rd := range names[:r.Intn(len(names))] {
+			refs = append(refs, loopir.Ref{Array: rd, Mode: loopir.Read, Subs: subsFor(rd, avail)})
+		}
+		refs = append(refs, loopir.Ref{Array: store, Mode: mode, Subs: subsFor(store, avail)})
+		var body loopir.Node = &loopir.Stmt{Label: fmt.Sprintf("S%d", stmtNo), Refs: refs}
+		if deep {
+			body = &loopir.Loop{Index: "j", Trip: n, Body: []loopir.Node{body}}
+		}
+		siblings = append(siblings, &loopir.Loop{Index: "i", Trip: n, Body: []loopir.Node{body}})
+	}
+	nest, err := loopir.NewNest(fmt.Sprintf("fusable-%d", id), arrays, siblings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nest, expr.Env{"N": 5}
+}
+
+// TestFusionCrossCheckCorpus checks the fusion side of the dependence
+// diagnostics: over a corpus of randomly generated fusable-sibling nests
+// (plus the TCE unfused contraction chain), whenever FuseLegal merges
+// loops the fused nest computes the same final state as the original; the
+// corpus must exercise both merged and hazard-rejected cases.
+func TestFusionCrossCheckCorpus(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	merged, rejected := 0, 0
+	check := func(nest *loopir.Nest, env expr.Env) {
+		fused, merges, err := loopir.FuseLegal(nest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if merges == 0 {
+			rejected++
+			return
+		}
+		merged++
+		want := runNest(t, nest, env)
+		got := runNest(t, fused, env)
+		if where, ok := sameState(want, got); !ok {
+			t.Fatalf("%s: legal fusion changes the result at %s", nest.Name, where)
+		}
+	}
+	for id := 0; id < 60; id++ {
+		nest, env := genFusableSiblings(t, r, id)
+		check(nest, env)
+	}
+	chain, err := tce.UnfusedTwoIndex(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(chain, expr.Env{"N": 6, "V": 3})
+	if merged == 0 || rejected == 0 {
+		t.Fatalf("corpus is one-sided: %d merged, %d rejected", merged, rejected)
+	}
+}

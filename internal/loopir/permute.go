@@ -1,6 +1,9 @@
 package loopir
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // IsPerfect reports whether the nest is a single perfectly nested loop
 // chain with one statement, and returns the chain outermost-first.
@@ -26,6 +29,31 @@ func (n *Nest) IsPerfect() ([]*Loop, *Stmt, bool) {
 	}
 }
 
+// PerfectDefect explains why a nest is not perfect: it names the first
+// offending node on the walk from the root (a loop with several body nodes,
+// a statement above the innermost level, several top-level nodes). It
+// returns "" for a perfect nest. Transform error messages embed it so a
+// rejected permutation or tiling says which loop broke the chain.
+func PerfectDefect(n *Nest) string {
+	if len(n.Root) != 1 {
+		return fmt.Sprintf("has %d top-level nodes", len(n.Root))
+	}
+	node := n.Root[0]
+	for {
+		switch v := node.(type) {
+		case *Loop:
+			if len(v.Body) != 1 {
+				return fmt.Sprintf("loop %s has %d body nodes", v.Index, len(v.Body))
+			}
+			node = v.Body[0]
+		case *Stmt:
+			return ""
+		default:
+			return fmt.Sprintf("has an unknown node type %T", node)
+		}
+	}
+}
+
 // PermutePerfect returns a new nest with the loops of a perfect nest
 // reordered to the given index order (outermost first). All loops of the
 // nest must appear exactly once in order. The statement is cloned, so the
@@ -33,13 +61,29 @@ func (n *Nest) IsPerfect() ([]*Loop, *Stmt, bool) {
 // paper's class (no loop-carried dependences other than reductions, which
 // are insensitive to order), every permutation computes the same result,
 // but their cache behaviour differs — which is exactly what the model
-// quantifies.
+// quantifies. Whether a given nest is in that class is what
+// PermutationHazards (deps.go) decides; PermutePerfect itself is purely
+// structural.
 func PermutePerfect(n *Nest, order []string) (*Nest, error) {
 	chain, stmt, ok := n.IsPerfect()
 	if !ok {
-		return nil, fmt.Errorf("loopir: %s is not a perfect nest", n.Name)
+		return nil, fmt.Errorf("loopir: %s is not a perfect nest: %s", n.Name, PerfectDefect(n))
 	}
 	if len(order) != len(chain) {
+		have := map[string]bool{}
+		for _, ix := range order {
+			have[ix] = true
+		}
+		var missing []string
+		for _, l := range chain {
+			if !have[l.Index] {
+				missing = append(missing, l.Index)
+			}
+		}
+		if len(missing) > 0 {
+			return nil, fmt.Errorf("loopir: order names %d loops, nest has %d (missing %s)",
+				len(order), len(chain), strings.Join(missing, ", "))
+		}
 		return nil, fmt.Errorf("loopir: order names %d loops, nest has %d", len(order), len(chain))
 	}
 	byIndex := map[string]*Loop{}

@@ -1,0 +1,143 @@
+package loopir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// A Plan is a sequence of structural loop transformations applied to a nest
+// before tile-size search: the "structure" half of the joint (permutation ×
+// fusion × tiling) optimization space. Plans are data — JSON-serializable,
+// comparable by String — so the serving layer can echo the winning plan and
+// a client can replay it.
+//
+// ApplyPlan gates every step on the dependence diagnostics in deps.go
+// (PermutationHazards, FusionHazards): an illegal step fails with the
+// hazard text instead of producing a nest that computes something else.
+// "Apply cleanly or reject before evaluation" is the invariant the
+// FuzzPlanLegality target pins.
+type Plan []PlanStep
+
+// PlanStep is one transformation. Op selects it:
+//
+//	"permute" — reorder a perfect nest's loops to Order (outermost first),
+//	            legal only when PermutationHazards is empty;
+//	"fuse"    — merge adjacent fusable sibling loops wherever FusionHazards
+//	            proves the merge safe; rejected when nothing merges;
+//	"tile"    — strip-mine every loop of a perfect nest with the
+//	            conventional names (DefaultTileSpec: index i gains tile
+//	            symbol TI and loops iT/iI).
+type PlanStep struct {
+	Op    string   `json:"op"`
+	Order []string `json:"order,omitempty"`
+}
+
+// String renders a plan compactly: "fuse; permute(k,i,j); tile".
+// The identity plan renders as "identity".
+func (p Plan) String() string {
+	if len(p) == 0 {
+		return "identity"
+	}
+	parts := make([]string, len(p))
+	for i, st := range p {
+		if st.Op == "permute" {
+			parts[i] = "permute(" + strings.Join(st.Order, ",") + ")"
+		} else {
+			parts[i] = st.Op
+		}
+	}
+	return strings.Join(parts, "; ")
+}
+
+// ApplyPlan runs the plan's steps in order against n, checking each step's
+// legality before applying it, and returns the transformed nest. The input
+// nest is never modified. An error identifies the failing step and why —
+// either a structural impossibility (tiling an imperfect nest) or a
+// dependence hazard (the deps.go diagnostics, verbatim).
+func ApplyPlan(n *Nest, p Plan) (*Nest, error) {
+	cur := n
+	for i, st := range p {
+		next, err := applyStep(cur, st)
+		if err != nil {
+			return nil, fmt.Errorf("plan step %d (%s): %w", i, st.Op, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func applyStep(n *Nest, st PlanStep) (*Nest, error) {
+	switch st.Op {
+	case "permute":
+		if hz := PermutationHazards(n); len(hz) > 0 {
+			return nil, fmt.Errorf("illegal: %s", strings.Join(hz, "; "))
+		}
+		return PermutePerfect(n, st.Order)
+	case "fuse":
+		if len(st.Order) != 0 {
+			return nil, fmt.Errorf("fuse takes no order")
+		}
+		fused, merges, err := FuseLegal(n)
+		if err != nil {
+			return nil, err
+		}
+		if merges == 0 {
+			return nil, fmt.Errorf("no legal adjacent fusion in %s", n.Name)
+		}
+		return fused, nil
+	case "tile":
+		if len(st.Order) != 0 {
+			return nil, fmt.Errorf("tile takes no order")
+		}
+		tiled, _, err := TileAll(n)
+		return tiled, err
+	}
+	return nil, fmt.Errorf("unknown op %q (want permute, fuse or tile)", st.Op)
+}
+
+// TileAll strip-mines every loop of a perfect nest with the conventional
+// tile names and returns the tiled nest plus the specs describing the
+// introduced tile symbols (the search dimensions). It fails, naming the
+// defect, on imperfect nests, on subscripts that are not plain single
+// indices, and when a generated tile symbol collides with an existing
+// symbol of the nest.
+func TileAll(n *Nest) (*Nest, []TileSpec, error) {
+	chain, stmt, ok := n.IsPerfect()
+	if !ok {
+		return nil, nil, fmt.Errorf("loopir: cannot tile %s: %s", n.Name, PerfectDefect(n))
+	}
+	taken := map[string]bool{}
+	for _, s := range n.SymbolNames() {
+		taken[s] = true
+	}
+	for _, l := range chain {
+		taken[l.Index] = true
+	}
+	spec := PerfectNestSpec{Name: n.Name, Stmt: cloneStmt(stmt)}
+	var names []string
+	for name := range n.Arrays {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		spec.Arrays = append(spec.Arrays, n.Arrays[name])
+	}
+	tiles := make([]TileSpec, len(chain))
+	for i, l := range chain {
+		spec.Indices = append(spec.Indices, l.Index)
+		spec.Trips = append(spec.Trips, l.Trip)
+		tiles[i] = DefaultTileSpec(l.Index, l.Trip)
+		for _, gen := range []string{tiles[i].TileVar, tiles[i].TileIdx, tiles[i].IntraIdx} {
+			if taken[gen] {
+				return nil, nil, fmt.Errorf("loopir: cannot tile %s: generated name %s collides with an existing symbol", n.Name, gen)
+			}
+			taken[gen] = true
+		}
+	}
+	nest, err := TilePerfect(spec, tiles)
+	if err != nil {
+		return nil, nil, err
+	}
+	return nest, tiles, nil
+}

@@ -1,0 +1,91 @@
+package loopir_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/loopir"
+	"repro/internal/nestgen"
+)
+
+// FuzzPlanLegality pins the plan invariant: ApplyPlan either rejects a plan
+// before evaluation or applies it cleanly — never a panic, and never a
+// "legal" nest the executor contradicts. Fuzzed bytes decode into a plan
+// over a generated nest (perfect or imperfect, fuzzer's choice); when the
+// plan applies, the transformed nest must still analyze under the cache
+// model and must compute the same final memory state as the original.
+func FuzzPlanLegality(f *testing.F) {
+	f.Add(int64(1), false, []byte{0, 0})       // permute, first order
+	f.Add(int64(2), false, []byte{2, 0})       // tile
+	f.Add(int64(3), true, []byte{1, 0})        // fuse an imperfect nest
+	f.Add(int64(4), false, []byte{0, 5, 2, 0}) // permute then tile
+	f.Add(int64(5), true, []byte{1, 0, 0, 3})  // fuse then permute
+	f.Fuzz(func(t *testing.T, seed int64, imperfect bool, raw []byte) {
+		r := rand.New(rand.NewSource(seed))
+		nest, env, err := nestgen.Generate(r, int(seed&0xffff), nestgen.Config{Imperfect: imperfect})
+		if err != nil {
+			return
+		}
+		plan := decodePlan(nest, raw)
+		if len(plan) == 0 {
+			return
+		}
+		transformed, err := loopir.ApplyPlan(nest, plan)
+		if err != nil {
+			return // rejected before evaluation: the legal outcome for illegal plans
+		}
+		// A plan that applied must produce a nest the model accepts...
+		if _, err := core.Analyze(transformed); err != nil {
+			t.Fatalf("plan %q applied but the result is outside the class: %v", plan, err)
+		}
+		// ...and one that computes what the original computes. Tile symbols
+		// introduced by the plan bind to 1, which divides every bound.
+		xenv := expr.Env{}
+		for k, v := range env {
+			xenv[k] = v
+		}
+		for _, s := range transformed.SymbolNames() {
+			if _, ok := xenv[s]; !ok {
+				xenv[s] = 1
+			}
+		}
+		want := runNest(t, nest, env)
+		got := runNest(t, transformed, xenv)
+		if where, ok := sameState(want, got); !ok {
+			t.Fatalf("plan %q applied cleanly but changes the result at %s", plan, where)
+		}
+	})
+}
+
+// decodePlan turns fuzz bytes into a plan: pairs of (op selector, argument).
+// Permutation orders are picked from the input nest's loop chain when it is
+// perfect — covering both accepting and rejecting paths — and fall back to a
+// bogus order otherwise, exercising rejection.
+func decodePlan(nest *loopir.Nest, raw []byte) loopir.Plan {
+	var indices []string
+	if chain, _, ok := nest.IsPerfect(); ok {
+		for _, l := range chain {
+			indices = append(indices, l.Index)
+		}
+	}
+	var plan loopir.Plan
+	for i := 0; i+1 < len(raw) && len(plan) < 4; i += 2 {
+		op, arg := raw[i]%3, int(raw[i+1])
+		switch op {
+		case 0:
+			order := []string{"i0", "i1"}
+			if len(indices) > 0 {
+				perms := allOrders(indices)
+				order = perms[arg%len(perms)]
+			}
+			plan = append(plan, loopir.PlanStep{Op: "permute", Order: order})
+		case 1:
+			plan = append(plan, loopir.PlanStep{Op: "fuse"})
+		case 2:
+			plan = append(plan, loopir.PlanStep{Op: "tile"})
+		}
+	}
+	return plan
+}

@@ -1,0 +1,105 @@
+// Package optbench defines the joint transformation-search benchmark
+// workloads shared by the committed benchmark suite (optbench_test.go) and
+// cmd/optbench, which writes the BENCH_opt.json artifact — the same
+// one-place-for-workloads discipline internal/simbench and
+// internal/evalbench apply.
+//
+// Each workload is an untiled kernel and a cache geometry. Two searches
+// are measured per workload: the joint plan search (permutation × fusion ×
+// auto-tiling, every axis on) and the tile-only baseline (the identity
+// variant alone — exactly what the pre-plan search layer could express on
+// an untiled nest). The artifact records both predicted miss counts and
+// both wall times, so it documents what the structural axes buy and what
+// they cost.
+package optbench
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/tilesearch"
+)
+
+// Workload is one benchmarked configuration: a BuildKernel kind with a
+// loop bound and cache geometry (Ways zero selects the fully-associative
+// model).
+type Workload struct {
+	Name    string
+	Kernel  string
+	N       int64
+	CacheKB int64
+	Ways    int64
+	Line    int64
+}
+
+// Workloads returns the committed BENCH_opt.json configurations:
+//
+//   - the unfused two-index transform chain at two sizes, where fusing
+//     the chain is the win (Fig. 5 → Fig. 6 of the paper),
+//   - the naive matmul against the set-associative geometry, where loop
+//     order and tiling both matter (the SNIPPET 2 ranking regime).
+func Workloads() []Workload {
+	return []Workload{
+		{Name: "twoindexchain-n32", Kernel: "twoindexchain", N: 32, CacheKB: 2},
+		{Name: "twoindexchain-n64", Kernel: "twoindexchain", N: 64, CacheKB: 8},
+		{Name: "matmul-naive-n128-8way", Kernel: "matmul-naive", N: 128, CacheKB: 16, Ways: 8, Line: 4},
+	}
+}
+
+// options builds the search options for a workload.
+func options(wl Workload, parallelism int) (tilesearch.Options, error) {
+	_, env, err := experiments.BuildKernel(wl.Kernel, wl.N, nil)
+	if err != nil {
+		return tilesearch.Options{}, err
+	}
+	return tilesearch.Options{
+		CacheElems:  experiments.KB(wl.CacheKB),
+		Ways:        wl.Ways,
+		LineElems:   wl.Line,
+		BaseEnv:     env,
+		Parallelism: parallelism,
+	}, nil
+}
+
+// RunJoint runs the full joint search for a workload.
+func RunJoint(wl Workload, parallelism int) (*tilesearch.PlanResult, error) {
+	nest, _, err := experiments.BuildKernel(wl.Kernel, wl.N, nil)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := options(wl, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return tilesearch.SearchPlans(nest, tilesearch.PlanOptions{
+		Options:  opt,
+		Permute:  true,
+		Fuse:     true,
+		AutoTile: true,
+	})
+}
+
+// RunTileOnly runs the baseline: the identity variant alone, every
+// structural axis off — the nest exactly as written, scored by the same
+// machinery.
+func RunTileOnly(wl Workload, parallelism int) (*tilesearch.PlanResult, error) {
+	nest, _, err := experiments.BuildKernel(wl.Kernel, wl.N, nil)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := options(wl, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return tilesearch.SearchPlans(nest, tilesearch.PlanOptions{Options: opt})
+}
+
+// Find returns the named workload.
+func Find(name string) (Workload, error) {
+	for _, wl := range Workloads() {
+		if wl.Name == name {
+			return wl, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("optbench: unknown workload %q", name)
+}

@@ -1,0 +1,64 @@
+package optbench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkJoint measures the full joint plan search per workload — the
+// numbers behind BENCH_opt.json's joint wall times.
+func BenchmarkJoint(b *testing.B) {
+	for _, wl := range Workloads() {
+		b.Run(wl.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunJoint(wl, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTileOnly measures the identity-only baseline per workload.
+func BenchmarkTileOnly(b *testing.B) {
+	for _, wl := range Workloads() {
+		b.Run(wl.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunTileOnly(wl, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadsImprove pins the artifact's headline claim: on every
+// committed workload the joint search's winner strictly beats the
+// tile-only baseline in predicted misses. This is the same tripwire
+// cmd/optbench -smoke trips in CI.
+func TestWorkloadsImprove(t *testing.T) {
+	for _, wl := range Workloads() {
+		t.Run(wl.Name, func(t *testing.T) {
+			joint, err := RunJoint(wl, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := RunTileOnly(wl, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jm := joint.Best().Result.Best.Misses
+			bm := base.Best().Result.Best.Misses
+			if jm >= bm {
+				t.Errorf("joint %d misses (plan %s), tile-only %d — no structural win",
+					jm, joint.Best().Plan, bm)
+			}
+			// The joint search's own identity variant must equal the
+			// baseline run: same machinery, same score.
+			if got := joint.Baseline().Result.Best.Misses; got != bm {
+				t.Errorf("joint identity variant %d misses, standalone baseline %d", got, bm)
+			}
+			fmt.Printf("%s: joint %d (%s) vs tile-only %d\n", wl.Name, jm, joint.Best().Plan, bm)
+		})
+	}
+}

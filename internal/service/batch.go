@@ -90,7 +90,7 @@ func (s *Service) planBatch(body []byte) *batchPlan {
 	for i := range req.Items {
 		it := &req.Items[i]
 		switch it.Path {
-		case "/v1/analyze", "/v1/predict", "/v1/simulate", "/v1/tilesearch":
+		case "/v1/analyze", "/v1/predict", "/v1/simulate", "/v1/tilesearch", "/v1/optimize":
 			key, compute, err := s.plan(it.Path, it.Request)
 			plan.items = append(plan.items, itemPlan{key: key, compute: compute, err: err})
 		default:

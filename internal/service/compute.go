@@ -590,9 +590,9 @@ func normWatches(watches, watchKB []int64) ([]int64, error) {
 // Compute resolves and computes a request body directly, bypassing HTTP,
 // cache, and admission control — the "direct library call" the load
 // generator verifies served bytes against. path selects the endpoint
-// ("/v1/analyze", "/v1/predict", "/v1/tilesearch", "/v1/simulate") and the
-// returned bytes are exactly what the corresponding handler serves on a
-// 200.
+// ("/v1/analyze", "/v1/predict", "/v1/tilesearch", "/v1/optimize",
+// "/v1/simulate") and the returned bytes are exactly what the
+// corresponding handler serves on a 200.
 func (s *Service) Compute(ctx context.Context, path string, body []byte) ([]byte, error) {
 	if path == "/v1/batch" {
 		return s.computeBatchDirect(ctx, body)
@@ -674,6 +674,15 @@ func (s *Service) plan(path string, body []byte) (string, func(context.Context) 
 		}
 		return tileSearchKey(spec, &req, cfg), func(ctx context.Context) ([]byte, error) {
 			return s.computeTileSearch(ctx, spec, &req, cfg)
+		}, nil
+	case "/v1/optimize":
+		var req OptimizeRequest
+		spec, cfg, err := planOptimize(body, &req)
+		if err != nil {
+			return "", nil, err
+		}
+		return optimizeKey(spec, &req, cfg), func(ctx context.Context) ([]byte, error) {
+			return s.computeOptimize(ctx, spec, &req, cfg)
 		}, nil
 	case "/v1/simulate":
 		var req SimulateRequest

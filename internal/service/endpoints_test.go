@@ -43,6 +43,11 @@ var endpointFixtures = []struct {
 		body: `{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4],"perSite":true}`,
 	},
 	{
+		name: "optimize_twoindexchain",
+		path: "/v1/optimize",
+		body: `{"kernel":"twoindexchain","n":32,"cacheElems":256,"autoTile":false}`,
+	},
+	{
 		name: "predict_matmul_directmapped",
 		path: "/v1/predict",
 		body: `{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4,"ways":1,"line":4,"detail":true}`,

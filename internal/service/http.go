@@ -20,7 +20,7 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// Handler returns the service's HTTP mux: the four /v1 endpoints plus
+// Handler returns the service's HTTP mux: the /v1 endpoints plus
 // /healthz (200 while serving, 503 while draining — a readiness probe).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -40,6 +40,16 @@ func (s *Service) Handler() http.Handler {
 			return
 		}
 		tsPlain(w, r)
+	})
+	// /v1/optimize gets the same treatment: the joint plan search emits one
+	// record per scored variant under ?stream=1.
+	optPlain := s.endpoint("/v1/optimize", s.eps["optimize"])
+	mux.HandleFunc("/v1/optimize", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("stream") == "1" {
+			s.serveOptimizeStream(w, r)
+			return
+		}
+		optPlain(w, r)
 	})
 	mux.Handle("/v1/batch", s.batchEndpoint())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -70,8 +80,8 @@ func (s *Service) endpoint(path string, st *epStats) http.HandlerFunc {
 			return
 		}
 		if r.URL.Query().Get("stream") == "1" {
-			// Streaming exists where incremental records exist: tilesearch
-			// and batch. Point lookups answer in one record.
+			// Streaming exists where incremental records exist: tilesearch,
+			// optimize, and batch. Point lookups answer in one record.
 			st.errors.Inc()
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: "streaming is not supported on this endpoint"})
 			return

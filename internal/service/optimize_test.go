@@ -1,0 +1,268 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/loopir"
+	"repro/internal/validate"
+)
+
+// optFixture is the acceptance case: the unfused two-index transform chain
+// at a cache small enough that fusing the chain pays. AutoTile is off so
+// every variant simulates directly under the kernel's own bindings.
+const optFixture = `{"kernel":"twoindexchain","n":32,"cacheElems":256,"autoTile":false}`
+
+// optimizeWire mirrors the /v1/optimize response for assertions.
+type optimizeWire struct {
+	Nest       string `json:"nest"`
+	CacheElems int64  `json:"cacheElems"`
+	BestPlan   string `json:"bestPlan"`
+	Result     struct {
+		Variants []struct {
+			PlanText string `json:"planText"`
+			Source   string `json:"source"`
+			Result   struct {
+				Best struct {
+					Misses int64 `json:"misses"`
+				} `json:"best"`
+			} `json:"result"`
+		} `json:"variants"`
+		BestIndex int `json:"bestIndex"`
+		Evaluated int `json:"evaluated"`
+	} `json:"result"`
+}
+
+// TestOptimizeEndpoint is the end-to-end acceptance check: on the TCE
+// two-index transform, the joint search's winner must beat the tile-only
+// baseline (variant 0) in misses — and not just in the predicted scores the
+// search ranks by: re-parsing both variants' Source from the response and
+// simulating them must agree the transformed nest wins.
+func TestOptimizeEndpoint(t *testing.T) {
+	svc, _ := newTestService(t)
+	h := svc.Handler()
+	w := post(t, h, "/v1/optimize", optFixture)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+
+	// Served bytes equal the direct library call's.
+	direct, err := svc.Compute(context.Background(), "/v1/optimize", []byte(optFixture))
+	if err != nil {
+		t.Fatalf("direct compute: %v", err)
+	}
+	if !bytes.Equal(w.Body.Bytes(), direct) {
+		t.Fatal("served response differs from direct Compute")
+	}
+
+	var resp optimizeWire
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.BestPlan == "identity" {
+		t.Fatalf("joint search kept the identity plan; variants: %d", len(resp.Result.Variants))
+	}
+	if !strings.Contains(resp.BestPlan, "fuse") {
+		t.Errorf("best plan %q, want a fusion step on the unfused chain", resp.BestPlan)
+	}
+	best := resp.Result.Variants[resp.Result.BestIndex]
+	base := resp.Result.Variants[0]
+	if base.PlanText != "identity" {
+		t.Fatalf("variant 0 is %q, want the identity baseline", base.PlanText)
+	}
+	if best.Result.Best.Misses >= base.Result.Best.Misses {
+		t.Errorf("predicted misses: winner %d, baseline %d — no improvement",
+			best.Result.Best.Misses, base.Result.Best.Misses)
+	}
+
+	// The Source fields round-trip through the parser and the simulator
+	// confirms the predicted ranking.
+	env := expr.Env{"N": 32, "V": 16}
+	sim := func(src string) int64 {
+		t.Helper()
+		nest, err := loopir.Parse(src)
+		if err != nil {
+			t.Fatalf("response source does not re-parse: %v", err)
+		}
+		m, err := validate.SimulatedMisses(nest, env, resp.CacheElems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	simBest, simBase := sim(best.Source), sim(base.Source)
+	if simBest >= simBase {
+		t.Errorf("simulated misses: winner %d, baseline %d — prediction's win did not survive simulation",
+			simBest, simBase)
+	}
+}
+
+// TestOptimizeErrors pins the /v1/optimize 400 taxonomy on top of the
+// shared lifecycle errors.
+func TestOptimizeErrors(t *testing.T) {
+	svc, _ := newTestService(t)
+	h := svc.Handler()
+	cases := []struct {
+		name, body string
+		method     string
+		wantCode   int
+	}{
+		{"get rejected", "", http.MethodGet, http.StatusMethodNotAllowed},
+		{"bad json", `{"kernel":`, http.MethodPost, http.StatusBadRequest},
+		{"unknown field", `{"kernle":"matmul-naive","n":16,"cacheKB":4}`, http.MethodPost, http.StatusBadRequest},
+		{"no capacity", `{"kernel":"matmul-naive","n":16}`, http.MethodPost, http.StatusBadRequest},
+		{"unknown kernel", `{"kernel":"bogus","n":16,"cacheKB":4}`, http.MethodPost, http.StatusBadRequest},
+		{"all axes off", `{"kernel":"matmul-naive","n":16,"cacheKB":4,"permute":false,"fuse":false,"autoTile":false}`, http.MethodPost, http.StatusBadRequest},
+		{"bad geometry", `{"kernel":"matmul-naive","n":16,"cacheKB":4,"ways":3}`, http.MethodPost, http.StatusBadRequest},
+		{"line without ways", `{"kernel":"matmul-naive","n":16,"cacheKB":4,"line":4}`, http.MethodPost, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest(tc.method, "/v1/optimize", strings.NewReader(tc.body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != tc.wantCode {
+				t.Errorf("status %d, want %d (body %s)", w.Code, tc.wantCode, w.Body.String())
+			}
+		})
+	}
+
+	// Axes disabled but dims present is fine: that is exactly the tile-only
+	// search behind /v1/tilesearch, reached through the joint endpoint.
+	w := post(t, h, "/v1/optimize",
+		`{"kernel":"matmul","n":32,"tiles":[4,4,4],"cacheKB":4,"permute":false,"fuse":false,"autoTile":false,"dims":{"TI":32,"TJ":32,"TK":32}}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("dims-only request: status %d: %s", w.Code, w.Body.String())
+	}
+	var resp optimizeWire
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Result.Variants) != 1 || resp.BestPlan != "identity" {
+		t.Errorf("dims-only request scored %d variants with best %q, want the lone identity",
+			len(resp.Result.Variants), resp.BestPlan)
+	}
+}
+
+// TestOptimizeStream: the ?stream=1 variant emits one record per scored
+// structural variant, then a result record byte-identical to the
+// non-streaming response, then the ok trailer.
+func TestOptimizeStream(t *testing.T) {
+	svc, _ := newTestService(t)
+	h := svc.Handler()
+	w := post(t, h, "/v1/optimize?stream=1", optFixture)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != ndjsonContentType {
+		t.Errorf("Content-Type %q, want %q", ct, ndjsonContentType)
+	}
+	lines := ndjsonLines(t, w.Body.Bytes())
+	if string(lines[len(lines)-1]) != `{"summary":{"ok":true}}` {
+		t.Fatalf("trailer %s, want ok summary", lines[len(lines)-1])
+	}
+
+	var resultRec struct {
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(lines[len(lines)-2], &resultRec); err != nil || resultRec.Result == nil {
+		t.Fatalf("second-to-last record is not a result: %s", lines[len(lines)-2])
+	}
+	direct, err := svc.Compute(context.Background(), "/v1/optimize", []byte(optFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resultRec.Result, bytes.TrimSuffix(direct, []byte{'\n'})) {
+		t.Errorf("streamed result differs from direct Compute:\nstream: %s\ndirect: %s", resultRec.Result, direct)
+	}
+
+	var resp optimizeWire
+	if err := json.Unmarshal(resultRec.Result, &resp); err != nil {
+		t.Fatal(err)
+	}
+	variantRecs := lines[:len(lines)-2]
+	if len(variantRecs) != len(resp.Result.Variants) {
+		t.Fatalf("%d variant records for %d variants", len(variantRecs), len(resp.Result.Variants))
+	}
+	for i, line := range variantRecs {
+		var rec streamVariantRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if rec.Variant != i || rec.Count != len(resp.Result.Variants) {
+			t.Errorf("record %d claims variant %d/%d", i, rec.Variant, rec.Count)
+		}
+		if rec.Plan != resp.Result.Variants[i].PlanText {
+			t.Errorf("record %d plan %q, result says %q", i, rec.Plan, resp.Result.Variants[i].PlanText)
+		}
+	}
+
+	// A validation failure answers with a plain 400, not a truncated stream.
+	w = post(t, h, "/v1/optimize?stream=1", `{"kernel":"matmul-naive","n":16}`)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("streaming bad request: status %d, want 400", w.Code)
+	}
+}
+
+// TestOptimizeBatchAndCache: a batch item reaches the same cached bytes as
+// the direct endpoint (one compute for both), and requests differing only
+// in a default-valued axis flag share a key.
+func TestOptimizeBatchAndCache(t *testing.T) {
+	svc, m := newTestService(t)
+	h := svc.Handler()
+
+	w := post(t, h, "/v1/optimize", optFixture)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if got := m.Counters()["service.cache.misses"]; got != 1 {
+		t.Fatalf("%d cache entries after first request, want 1", got)
+	}
+
+	// Same search, spelled differently: explicit true axes, reordered keys.
+	w2 := post(t, h, "/v1/optimize", `{"cacheElems":256,"autoTile":false,"kernel":"twoindexchain","n":32,"permute":true,"fuse":true}`)
+	if w2.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w2.Code, w2.Body.String())
+	}
+	if !bytes.Equal(w.Body.Bytes(), w2.Body.Bytes()) {
+		t.Error("equivalent optimize requests served different bytes")
+	}
+	if got := m.Counters()["service.cache.misses"]; got != 1 {
+		t.Errorf("%d cache entries after equivalent request, want 1 (keys should collide)", got)
+	}
+
+	// Through the batch endpoint: same key again, byte-identical item.
+	batch := `{"items":[{"path":"/v1/optimize","request":` + optFixture + `}]}`
+	wb := post(t, h, "/v1/batch", batch)
+	if wb.Code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", wb.Code, wb.Body.String())
+	}
+	var env batchEnvelope
+	if err := json.Unmarshal(wb.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Items) != 1 || !env.Items[0].OK {
+		t.Fatalf("batch item failed: %s", wb.Body.String())
+	}
+	if !bytes.Equal(env.Items[0].Response, bytes.TrimSuffix(w.Body.Bytes(), []byte{'\n'})) {
+		t.Error("batch item bytes differ from the direct endpoint's")
+	}
+	if got := m.Counters()["service.cache.misses"]; got != 1 {
+		t.Errorf("%d cache entries after batch, want 1 (batch should reuse the entry)", got)
+	}
+
+	// A different variant cap is a different computation, so a new entry.
+	w3 := post(t, h, "/v1/optimize", `{"kernel":"twoindexchain","n":32,"cacheElems":256,"autoTile":false,"maxVariants":2}`)
+	if w3.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w3.Code, w3.Body.String())
+	}
+	if got := m.Counters()["service.cache.misses"]; got != 2 {
+		t.Errorf("%d cache entries after capped request, want 2", got)
+	}
+}

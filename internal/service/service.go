@@ -164,7 +164,7 @@ func New(cfg Config) *Service {
 		streamFlush:   m.Timer("service.stream.flush"),
 	}
 	s.pool = newWorkPool(cfg.Workers, cfg.QueueDepth, m.Gauge("service.queue.depth"))
-	for _, ep := range []string{"analyze", "predict", "tilesearch", "simulate", "batch"} {
+	for _, ep := range []string{"analyze", "predict", "tilesearch", "simulate", "optimize", "batch"} {
 		s.eps[ep] = &epStats{
 			requests: m.Counter("service." + ep + ".requests"),
 			ok:       m.Counter("service." + ep + ".ok"),

@@ -207,6 +207,139 @@ type streamPhaseRecord struct {
 	Best       tilesearch.CandidateJSON `json:"best"`
 }
 
+// streamVariantRecord is one /v1/optimize?stream=1 progress line: a scored
+// structural variant with its best candidate. Variants are scored
+// sequentially in enumeration order, so the records are deterministic for
+// a given request like the tilesearch phase records.
+type streamVariantRecord struct {
+	Variant   int                      `json:"variant"` // index in enumeration order
+	Count     int                      `json:"count"`   // total variants being scored
+	Plan      string                   `json:"plan"`
+	Best      tilesearch.CandidateJSON `json:"best"`
+	Evaluated int                      `json:"evaluated"`
+}
+
+// serveOptimizeStream is the ?stream=1 variant of /v1/optimize: one record
+// per scored structural variant, then a {"result":...} record carrying the
+// exact non-streaming response bytes, then the summary trailer — the same
+// shape and error taxonomy as the tilesearch stream.
+func (s *Service) serveOptimizeStream(w http.ResponseWriter, r *http.Request) {
+	st := s.eps["optimize"]
+	sw := st.latency.Start()
+	defer sw.Stop()
+	s.total.Inc()
+	st.requests.Inc()
+
+	if r.Method != http.MethodPost {
+		st.errors.Inc()
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	if s.draining.Load() {
+		st.rejected.Inc()
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		st.errors.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	var req OptimizeRequest
+	spec, cfg, err := planOptimize(body, &req)
+	if err != nil {
+		st.errors.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	events := make(chan tilesearch.PlanEvent, 8)
+	done := make(chan struct{})
+	var data []byte
+	var cerr error
+	accepted := s.pool.trySubmit(func() {
+		defer close(done)
+		data, cerr = s.computeOptimizeProgress(ctx, spec, &req, cfg, func(ev tilesearch.PlanEvent) {
+			select {
+			case events <- ev:
+			case <-ctx.Done():
+			}
+		})
+	})
+	if !accepted {
+		st.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: ErrOverload.Error()})
+		return
+	}
+
+	w.Header().Set("Content-Type", ndjsonContentType)
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	writeFailed := false
+	emit := func(line []byte) {
+		if writeFailed {
+			return
+		}
+		if _, werr := w.Write(line); werr != nil {
+			writeFailed = true
+			return
+		}
+		s.flush(fl)
+	}
+	emitEvent := func(ev tilesearch.PlanEvent) {
+		line, merr := marshal(streamVariantRecord{
+			Variant:   ev.Index,
+			Count:     ev.Count,
+			Plan:      ev.Plan.String(),
+			Best:      tilesearch.CandidateJSON{Tiles: ev.Best.Tiles, Misses: ev.Best.Misses},
+			Evaluated: ev.Evaluated,
+		})
+		if merr == nil {
+			emit(line)
+		}
+	}
+	for running := true; running; {
+		select {
+		case ev := <-events:
+			emitEvent(ev)
+		case <-done:
+			running = false
+		}
+	}
+	for drained := false; !drained; {
+		select {
+		case ev := <-events:
+			emitEvent(ev)
+		default:
+			drained = true
+		}
+	}
+	if cerr == nil {
+		line := append([]byte(`{"result":`), bytes.TrimSuffix(data, []byte{'\n'})...)
+		line = append(line, '}', '\n')
+		emit(line)
+		emit([]byte(`{"summary":{"ok":true}}` + "\n"))
+	} else {
+		trailer, merr := marshal(streamTrailer{Summary: streamSummary{
+			OK:     false,
+			Status: statusOf(cerr),
+			Error:  cerr.Error(),
+		}})
+		if merr == nil {
+			emit(trailer)
+		}
+	}
+	if cerr != nil || writeFailed {
+		st.errors.Inc()
+	} else {
+		st.ok.Inc()
+	}
+}
+
 // serveTileSearchStream is the ?stream=1 variant of /v1/tilesearch: phase
 // records as the search progresses, then a {"result":...} record carrying
 // the exact bytes the non-streaming endpoint would have served, then the

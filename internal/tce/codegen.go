@@ -7,6 +7,25 @@ import (
 	"repro/internal/loopir"
 )
 
+// UnfusedTwoIndex generates the two-index transform B(m,n) = Σ_ij C1·C2·A
+// in its unfused form: OpMin's binary step sequence lowered by GenLoopNest
+// to separate init and accumulation nests per step (the paper's Fig. 1(a)
+// shape). It is the canonical "structure left on the table" input of the
+// joint transformation search — fusing its sibling nests (loopir.FuseLegal)
+// recovers the Fig. 1(c) locality that the hand-fused FusedTwoIndex builds
+// directly.
+func UnfusedTwoIndex(r IndexRanges) (*loopir.Nest, error) {
+	c, ranges := TwoIndexTransform()
+	if r == nil {
+		r = ranges
+	}
+	tree, err := OpMin(c, r, expr.Env{"N": 64, "V": 32})
+	if err != nil {
+		return nil, err
+	}
+	return GenLoopNest("two-index-unfused", tree.Sequence(), r)
+}
+
 // GenLoopNest lowers a pairwise-contraction sequence to a loopir program:
 // for each step, an initialization nest over the output's indices followed
 // by an accumulation nest over output + summation indices (summation

@@ -1,0 +1,102 @@
+package tilesearch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/nestgen"
+	"repro/internal/tce"
+	"repro/internal/validate"
+)
+
+// TestJointNeverWorseThanTileOnly is the differential acceptance test: over
+// a corpus of generated nests (perfect reductions, imperfect trees, and
+// TCE contraction chains at several sizes), the joint search's winner must
+// have simulated misses no worse than the tile-only baseline — the
+// identity variant the joint search always scores first. Ties are expected
+// when no structural transform is legal or none helps; the corpus as a
+// whole must contain strict improvements, or the joint axes did nothing.
+func TestJointNeverWorseThanTileOnly(t *testing.T) {
+	type caseT struct {
+		nestName string
+		cache    int64
+		env      expr.Env
+		pr       *PlanResult
+	}
+	var cases []caseT
+
+	r := rand.New(rand.NewSource(19))
+	for id := 0; id < 8; id++ {
+		nest, env, err := nestgen.Generate(r, id, nestgen.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := SearchPlans(nest, PlanOptions{
+			Options: Options{CacheElems: 12, BaseEnv: env},
+			Permute: true,
+			Fuse:    true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, caseT{nest.Name, 12, env, pr})
+	}
+	for id := 0; id < 4; id++ {
+		nest, env, err := nestgen.Generate(r, 100+id, nestgen.Config{Imperfect: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := SearchPlans(nest, PlanOptions{
+			Options: Options{CacheElems: 12, BaseEnv: env},
+			Permute: true,
+			Fuse:    true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, caseT{nest.Name, 12, env, pr})
+	}
+	for _, p := range []struct{ n, v, cache int64 }{
+		{12, 6, 48}, {16, 8, 64}, {24, 12, 128}, {32, 16, 256}} {
+		chain, err := tce.UnfusedTwoIndex(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := expr.Env{"N": p.n, "V": p.v}
+		pr, err := SearchPlans(chain, PlanOptions{
+			Options: Options{CacheElems: p.cache, BaseEnv: env},
+			Permute: true,
+			Fuse:    true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, caseT{chain.Name, p.cache, env, pr})
+	}
+
+	if len(cases) < 16 {
+		t.Fatalf("corpus has %d nests, want at least 16", len(cases))
+	}
+	improved := 0
+	for _, c := range cases {
+		simBest, err := validate.SimulatedMisses(c.pr.Best().Nest, c.env, c.cache)
+		if err != nil {
+			t.Fatalf("%s: %v", c.nestName, err)
+		}
+		simBase, err := validate.SimulatedMisses(c.pr.Baseline().Nest, c.env, c.cache)
+		if err != nil {
+			t.Fatalf("%s: %v", c.nestName, err)
+		}
+		if simBest > simBase {
+			t.Errorf("%s: joint winner %q simulates worse than tile-only (%d > %d)",
+				c.nestName, c.pr.Best().Plan, simBest, simBase)
+		}
+		if simBest < simBase {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Error("no nest in the corpus improved — the structural axes were inert")
+	}
+}

@@ -1,0 +1,290 @@
+package tilesearch
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/kernels"
+	"repro/internal/loopir"
+	"repro/internal/tce"
+	"repro/internal/testutil"
+	"repro/internal/validate"
+)
+
+// classicOrder maps a matmul plan to the classic loop-order name of
+// SNIPPET 2. The repo's matmul is C[i][k] += A[i][j]·B[j][k] — its
+// summation index is j where the classic formulation sums over k — so the
+// classic name swaps j and k in the plan's order.
+func classicOrder(p loopir.Plan) string {
+	order := []string{"i", "j", "k"}
+	for _, st := range p {
+		if st.Op == "permute" {
+			order = st.Order
+		}
+	}
+	var b strings.Builder
+	for _, ix := range order {
+		switch ix {
+		case "j":
+			b.WriteString("k")
+		case "k":
+			b.WriteString("j")
+		default:
+			b.WriteString(ix)
+		}
+	}
+	return b.String()
+}
+
+// TestMatmulOrderRankingSnippet2 is the acceptance check against SNIPPET 2:
+// under a real cache geometry the six matmul loop orders rank
+// ikj/kij < ijk/jik < jki/kji in simulated misses, and the model's
+// predicted ranking agrees on the hard constraint (the best pair beats the
+// worst pair). Under a line size of one element the orders tie — the
+// ranking is a spatial-locality effect — so the test runs the
+// set-associative path (Ways/LineElems) on both sides.
+func TestMatmulOrderRankingSnippet2(t *testing.T) {
+	const n, cache, ways, line = 128, 2048, 8, 4
+	base, err := kernels.Matmul()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := SearchPlans(base, PlanOptions{
+		Options: Options{CacheElems: cache, Ways: ways, LineElems: line, BaseEnv: expr.Env{"N": n}},
+		Permute: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Variants) != 6 {
+		t.Fatalf("expected 6 loop-order variants, got %d", len(pr.Variants))
+	}
+	pred := map[string]int64{}
+	sim := map[string]int64{}
+	for _, v := range pr.Variants {
+		name := classicOrder(v.Plan)
+		s, err := validate.SimulatedMissesGeom(v.Nest, expr.Env{"N": n}, cache, ways, line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred[name] = v.Result.Best.Misses
+		sim[name] = s
+	}
+	// Simulated: strict three-tier ranking, every best-pair order below
+	// every middle-pair order below every worst-pair order.
+	for _, lo := range []string{"ikj", "kij"} {
+		for _, hi := range []string{"ijk", "jik", "jki", "kji"} {
+			if sim[lo] >= sim[hi] {
+				t.Errorf("simulated: %s (%d) should beat %s (%d)", lo, sim[lo], hi, sim[hi])
+			}
+		}
+	}
+	for _, lo := range []string{"ijk", "jik"} {
+		for _, hi := range []string{"jki", "kji"} {
+			if sim[lo] >= sim[hi] {
+				t.Errorf("simulated: %s (%d) should beat %s (%d)", lo, sim[lo], hi, sim[hi])
+			}
+		}
+	}
+	// Predicted: the model must put ikj/kij strictly below jki/kji (the
+	// SNIPPET 2 cross-check the search steers by).
+	for _, lo := range []string{"ikj", "kij"} {
+		for _, hi := range []string{"jki", "kji"} {
+			if pred[lo] >= pred[hi] {
+				t.Errorf("predicted: %s (%d) should beat %s (%d)", lo, pred[lo], hi, pred[hi])
+			}
+		}
+	}
+	// The search's winner must be one of the best-pair orders.
+	if got := classicOrder(pr.Best().Plan); got != "ikj" && got != "kij" {
+		t.Errorf("joint search picked order %s, want ikj or kij", got)
+	}
+}
+
+// TestChainFusionBeatsTileOnly is the Fig. 1 acceptance check: on the
+// unfused two-index contraction chain the joint search discovers the fused
+// variant and its winner has strictly fewer misses than the tile-only
+// baseline (the identity variant), in both the model's prediction and the
+// exact simulation.
+func TestChainFusionBeatsTileOnly(t *testing.T) {
+	chain, err := tce.UnfusedTwoIndex(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := expr.Env{"N": 32, "V": 16}
+	pr, err := SearchPlans(chain, PlanOptions{
+		Options: Options{CacheElems: 256, BaseEnv: env},
+		Fuse:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, base := pr.Best(), pr.Baseline()
+	if best.Plan.String() != "fuse" {
+		t.Fatalf("winner plan = %q, want fuse (variants: %d)", best.Plan, len(pr.Variants))
+	}
+	if best.Result.Best.Misses >= base.Result.Best.Misses {
+		t.Errorf("predicted: fused %d not better than identity %d",
+			best.Result.Best.Misses, base.Result.Best.Misses)
+	}
+	simBest, err := validate.SimulatedMisses(best.Nest, env, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simBase, err := validate.SimulatedMisses(base.Nest, env, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simBest >= simBase {
+		t.Errorf("simulated: fused %d not better than identity %d", simBest, simBase)
+	}
+}
+
+// TestPlanSearchDeterministicAcrossParallelism checks the -j1 vs -j8
+// acceptance bit: the entire PlanResult — winners, per-variant frontiers,
+// evaluation counts — serializes byte-identically at every parallelism
+// level.
+func TestPlanSearchDeterministicAcrossParallelism(t *testing.T) {
+	base, err := kernels.Matmul()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(par int) []byte {
+		pr, err := SearchPlans(base, PlanOptions{
+			Options: Options{
+				CacheElems:  512,
+				BaseEnv:     expr.Env{"N": 64},
+				DivisorOf:   64,
+				Parallelism: par,
+			},
+			Permute:  true,
+			AutoTile: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		type row struct {
+			Plan      string
+			Best      Candidate
+			Frontier  []Candidate
+			Evaluated int
+		}
+		var rows []row
+		for _, v := range pr.Variants {
+			rows = append(rows, row{v.Plan.String(), v.Result.Best, v.Result.Frontier, v.Result.Evaluated})
+		}
+		b, err := json.Marshal(struct {
+			BestIndex, Evaluated int
+			Rows                 []row
+		}{pr.BestIndex, pr.Evaluated, rows})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	j1 := run(1)
+	j8 := run(8)
+	if string(j1) != string(j8) {
+		t.Fatalf("plan search differs between -j1 and -j8:\n%s\n%s", j1, j8)
+	}
+}
+
+// TestIdentityVariantMatchesTileOnlySearch pins the thin-wrapper contract:
+// the baseline (identity) variant of SearchPlans on a pre-tiled nest is
+// exactly what the tile-only Search returns for the same options.
+func TestIdentityVariantMatchesTileOnlySearch(t *testing.T) {
+	a := testutil.AnalyzedMatmul(t)
+	opt := Options{
+		Dims:       matmulDims(64),
+		CacheElems: 512,
+		BaseEnv:    expr.Env{"N": 64},
+		DivisorOf:  64,
+	}
+	want, err := Search(a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := SearchPlans(a.Nest, PlanOptions{Options: opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pr.Baseline().Result
+	if got.Best.Misses != want.Best.Misses || got.Evaluated != want.Evaluated {
+		t.Errorf("baseline variant (misses %d, evaluated %d) != tile-only search (misses %d, evaluated %d)",
+			got.Best.Misses, got.Evaluated, want.Best.Misses, want.Evaluated)
+	}
+	if len(got.Frontier) != len(want.Frontier) {
+		t.Errorf("baseline frontier size %d != search frontier size %d",
+			len(got.Frontier), len(want.Frontier))
+	}
+}
+
+// TestPlanProgressEvents checks the streaming contract: one event per
+// variant, in enumeration order, with the final event's best equal to the
+// result's winner when the winner is the last variant improved upon.
+func TestPlanProgressEvents(t *testing.T) {
+	base, err := kernels.Matmul()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []PlanEvent
+	pr, err := SearchPlans(base, PlanOptions{
+		Options:      Options{CacheElems: 512, BaseEnv: expr.Env{"N": 64}, DivisorOf: 64},
+		Permute:      true,
+		AutoTile:     true,
+		PlanProgress: func(e PlanEvent) { events = append(events, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(pr.Variants) {
+		t.Fatalf("%d progress events for %d variants", len(events), len(pr.Variants))
+	}
+	for i, e := range events {
+		if e.Index != i || e.Count != len(pr.Variants) {
+			t.Errorf("event %d has index %d count %d", i, e.Index, e.Count)
+		}
+		if e.Plan.String() != pr.Variants[i].Plan.String() {
+			t.Errorf("event %d plan %q != variant plan %q", i, e.Plan, pr.Variants[i].Plan)
+		}
+		if e.Best.Misses != pr.Variants[i].Result.Best.Misses {
+			t.Errorf("event %d best %d != variant best %d", i, e.Best.Misses, pr.Variants[i].Result.Best.Misses)
+		}
+	}
+}
+
+// TestMaxVariantsCap checks deterministic truncation: capping the variant
+// budget keeps a prefix of the uncapped enumeration and counts the rest.
+func TestMaxVariantsCap(t *testing.T) {
+	base, err := kernels.Matmul()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := PlanOptions{
+		Options:  Options{CacheElems: 512, BaseEnv: expr.Env{"N": 64}, DivisorOf: 64},
+		Permute:  true,
+		AutoTile: true,
+	}
+	full, fullSkipped, err := EnumerateVariants(base, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullSkipped != 0 {
+		t.Fatalf("uncapped enumeration skipped %d", fullSkipped)
+	}
+	opt.MaxVariants = 3
+	capped, skipped, err := EnumerateVariants(base, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != 3 || skipped != len(full)-3 {
+		t.Fatalf("capped: %d variants, %d skipped; want 3 and %d", len(capped), skipped, len(full)-3)
+	}
+	for i := range capped {
+		if capped[i].Plan.String() != full[i].Plan.String() {
+			t.Errorf("capped variant %d is %q, full has %q", i, capped[i].Plan, full[i].Plan)
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package tilesearch
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/loopir"
+)
 
 // CandidateJSON is the serializable form of one evaluated tile assignment:
 // tiles are rendered as a map (encoding/json sorts the keys), so equal
@@ -58,4 +62,49 @@ func SortedDims(maxBySymbol map[string]int64) []Dim {
 		dims[i] = Dim{Symbol: s, Max: maxBySymbol[s]}
 	}
 	return dims
+}
+
+// PlanVariantJSON is the serializable form of one scored structural
+// variant: the plan (as replayable steps and as text), the transformed
+// nest's source in the textual format — a client can feed it back to any
+// endpoint — and the variant's tile-search result.
+type PlanVariantJSON struct {
+	Plan     loopir.Plan `json:"plan"`
+	PlanText string      `json:"planText"`
+	Source   string      `json:"source"`
+	Result   ResultJSON  `json:"result"`
+}
+
+// PlanResultJSON is the serializable outcome of a joint search. Variants
+// appear in enumeration order; the first is always the identity (tile-only
+// baseline) and BestIndex selects the winner. Deterministic at every
+// parallelism level, like ResultJSON.
+type PlanResultJSON struct {
+	Variants  []PlanVariantJSON `json:"variants"`
+	BestIndex int               `json:"bestIndex"`
+	Evaluated int               `json:"evaluated"`
+	Skipped   int               `json:"skipped"`
+}
+
+// JSON converts a joint-search result into its serializable form.
+func (pr *PlanResult) JSON() PlanResultJSON {
+	out := PlanResultJSON{
+		Variants:  make([]PlanVariantJSON, len(pr.Variants)),
+		BestIndex: pr.BestIndex,
+		Evaluated: pr.Evaluated,
+		Skipped:   pr.Skipped,
+	}
+	for i, v := range pr.Variants {
+		plan := v.Plan
+		if plan == nil {
+			plan = loopir.Plan{} // identity marshals as [], not null
+		}
+		out.Variants[i] = PlanVariantJSON{
+			Plan:     plan,
+			PlanText: v.Plan.String(),
+			Source:   loopir.Unparse(v.Nest),
+			Result:   v.Result.JSON(),
+		}
+	}
+	return out
 }

@@ -132,7 +132,10 @@ type Result struct {
 	Cache core.CacheStats
 }
 
-// Search runs the §6 algorithm against an analyzed nest.
+// Search runs the §6 algorithm against an analyzed nest. It is the
+// tile-only entry point — a single structural variant; SearchPlans
+// (plansearch.go) runs this same phase machinery once per legal structural
+// variant, each with its own compiled analysis and evaluator.
 func Search(a *core.Analysis, opt Options) (*Result, error) {
 	if len(opt.Dims) == 0 {
 		return nil, fmt.Errorf("tilesearch: no dimensions to search")
@@ -143,7 +146,15 @@ func Search(a *core.Analysis, opt Options) (*Result, error) {
 	if opt.MinTile <= 0 {
 		opt.MinTile = 4
 	}
-	ev := newEvaluator(a, opt)
+	return newEvaluator(a, opt).run()
+}
+
+// run executes the four phases against the evaluator's analysis and
+// options. Phases are barriers: each batch is evaluated (possibly in
+// parallel) and reduced in input order, so the result — including
+// tie-breaks — is byte-identical at every parallelism level.
+func (ev *evaluator) run() (*Result, error) {
+	opt := ev.opt
 	m := opt.Obs
 
 	// Phase 1: coarse sweep over power-of-two sizes.

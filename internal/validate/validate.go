@@ -13,6 +13,7 @@ import (
 	"repro/internal/cachesim/analytic"
 	"repro/internal/core"
 	"repro/internal/expr"
+	"repro/internal/loopir"
 	"repro/internal/obs"
 	"repro/internal/trace"
 )
@@ -170,6 +171,44 @@ func simulateOne(a *core.Analysis, env expr.Env, watches []int64, m *obs.Metrics
 		sim.FlushMetrics(m)
 		return sim.Results(), nil
 	}
+}
+
+// SimulatedMisses compiles a nest's reference trace and runs the exact
+// stack simulator once at a single capacity, returning the ground-truth
+// miss count. It needs no analysis — which is the point: the joint-search
+// differential tests and bench-optimize use it to check transformed nests
+// against the simulator directly, independent of the model that ranked
+// them.
+func SimulatedMisses(nest *loopir.Nest, env expr.Env, cacheElems int64) (int64, error) {
+	p, err := trace.Compile(nest, env)
+	if err != nil {
+		return 0, err
+	}
+	sim := cachesim.NewStackSim(p.Size, len(p.Sites), []int64{cacheElems})
+	p.RunBlocks(trace.DefaultBlockSize, sim.AccessBlock)
+	return sim.Results().Misses[0], nil
+}
+
+// SimulatedMissesGeom is SimulatedMisses under an explicit set-associative
+// geometry: the nest's trace driven through the AssocCache LRU simulator.
+// Line-granular simulation is what makes loop-order differences observable
+// (SNIPPET 2's matmul ratios are spatial-locality effects the
+// element-granular stack simulator cannot see), so the joint-search checks
+// use this form whenever the request models a real geometry.
+func SimulatedMissesGeom(nest *loopir.Nest, env expr.Env, cacheElems, ways, lineElems int64) (int64, error) {
+	if ways <= 0 {
+		return SimulatedMisses(nest, env, cacheElems)
+	}
+	p, err := trace.Compile(nest, env)
+	if err != nil {
+		return 0, err
+	}
+	c, err := cachesim.NewAssocCache(cacheElems, int(ways), lineElems)
+	if err != nil {
+		return 0, err
+	}
+	p.RunBlocks(0, func(_ []int32, addrs []int64) { c.AccessBlock(addrs) })
+	return c.Misses(), nil
 }
 
 // Format renders comparisons as an aligned report.

@@ -55,6 +55,18 @@ check 400 /v1/simulate '{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4
 check 400 /v1/simulate '{"kernel":"matmul","n":2048,"tiles":[64,64,64],"watchKB":[16],"engine":"exact"}'
 check 200 /v1/simulate '{"kernel":"matmul","n":2048,"tiles":[64,64,64],"watchKB":[16],"engine":"analytic"}'
 
+# The joint transformation search: a happy path on the unfused two-index
+# chain answers 200 with a non-identity winner; disabling every axis with
+# no dims is a 400, as is a missing cache capacity.
+opt_body='{"kernel":"twoindexchain","n":32,"cacheElems":256,"autoTile":false}'
+resp=$(curl -s -X POST -d "$opt_body" "$base/v1/optimize")
+case $resp in
+    *'"bestPlan":"fuse"'*) ;;
+    *) echo "serve_check: optimize best plan wrong: $resp"; exit 1 ;;
+esac
+check 400 /v1/optimize '{"kernel":"twoindexchain","n":32,"cacheElems":256,"permute":false,"fuse":false,"autoTile":false}'
+check 400 /v1/optimize '{"kernel":"twoindexchain","n":32}'
+
 # Batch: a mixed items+candidates happy path answers 200 with a fully-ok
 # summary; a batch above -max-batch is rejected whole with 429.
 batch_body='{"candidates":{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4,"dims":["TI","TJ","TK"],"sets":[[2,4,4],[4,4,4],[8,8,8]]}}'
@@ -72,6 +84,8 @@ last=$(curl -s -X POST -d "$batch_body" "$base/v1/batch?stream=1" | tail -n 1)
 last=$(curl -s -X POST -d '{"kernel":"matmul","n":32,"tiles":[4,4,4],"cacheKB":4,"dims":{"TI":32,"TJ":32,"TK":32}}' \
     "$base/v1/tilesearch?stream=1" | tail -n 1)
 [ "$last" = '{"summary":{"ok":true}}' ] || { echo "serve_check: tilesearch stream trailer: $last"; exit 1; }
+last=$(curl -s -X POST -d "$opt_body" "$base/v1/optimize?stream=1" | tail -n 1)
+[ "$last" = '{"summary":{"ok":true}}' ] || { echo "serve_check: optimize stream trailer: $last"; exit 1; }
 check 400 '/v1/predict?stream=1' '{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4}'
 
 # Graceful drain: SIGTERM must produce a clean exit and the drain line.
