@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet race fuzz-smoke bench bench-sim bench-eval bench-assoc bench-serve bench-serve-smoke bench-optimize serve-check cover golden
+.PHONY: all build test check vet race fuzz-smoke bench bench-sim bench-eval bench-assoc bench-serve bench-serve-smoke bench-optimize bench-cluster bench-cluster-smoke serve-check cover golden
 
 all: build
 
@@ -91,8 +91,24 @@ bench-optimize:
 	$(GO) run ./cmd/optbench -o BENCH_opt.json
 	$(GO) run ./cmd/optbench -smoke
 
+# Cluster-tier benchmark: a key sweep bigger than one replica's caches,
+# routed through analysisrouter, single replica vs 4 — the aggregate
+# cache-capacity win consistent-hash sharding buys even on one core. Every
+# response is byte-verified against the direct library computation and the
+# artifact is committed as BENCH_cluster.json.
+bench-cluster:
+	$(GO) run ./cmd/clusterbench -o BENCH_cluster.json
+	$(GO) run ./cmd/clusterbench -smoke -o ""
+
+# Short regression tripwire for the scale-out claim: asserts 4-replica
+# throughput ≥ 2.5× single-replica. CI-friendly.
+bench-cluster-smoke:
+	$(GO) run ./cmd/clusterbench -smoke -duration 1s -o ""
+
 # End-to-end analysisd lifecycle check: start, readiness, one request per
-# endpoint, SIGTERM, clean drain.
+# endpoint, SIGTERM, clean drain — then the same for the cluster tier
+# (analysisrouter in front of two replicas: routed requests, all-backends-down
+# 503, clean router drain).
 serve-check:
 	sh scripts/serve_check.sh
 

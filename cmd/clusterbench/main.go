@@ -1,0 +1,281 @@
+// Command clusterbench measures what the cluster tier buys and writes the
+// BENCH_cluster artifact committed at the repository root.
+//
+// The scenario is aggregate cache capacity, the thing consistent-hash
+// sharding actually scales on any machine (including a single-core one,
+// where CPU parallelism is off the table): a closed-loop sweep over K
+// distinct loop-nest specs, with each replica's response and analysis LRUs
+// sized well below K. A single replica thrashes — every request misses and
+// re-runs parse + analyze + predict — while N replicas each own ~K/N keys,
+// fit them, and serve the sweep cache-hot after one pass. Both runs go
+// through the router (same hop count, same admission), every response is
+// byte-verified against the direct library computation, and the per-replica
+// cache populations after the clustered run are recorded as evidence the
+// ring actually spread the keys.
+//
+// -smoke asserts clustered throughput ≥ 2.5× single-replica throughput —
+// the CI regression tripwire for the scale-out claim.
+//
+// Usage:
+//
+//	clusterbench [-o BENCH_cluster.json] [-replicas 4] [-keys 24]
+//	             [-clients 8] [-duration 2s] [-cache-entries 20]
+//	             [-analysis-entries 16] [-smoke]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/loadtest"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// RunPoint is one measured cluster size.
+type RunPoint struct {
+	Replicas int             `json:"replicas"`
+	Result   loadtest.Result `json:"result"`
+	// ReplicaCacheEntries is each replica's response-cache population after
+	// the run: bounded by the per-replica capacity, and in the clustered
+	// run summing to ~the key count — the sharding evidence.
+	ReplicaCacheEntries []int64 `json:"replica_cache_entries"`
+	// Router holds the router's counters after the run (hedges, retries,
+	// key-memo hits — the routing-cost picture).
+	Router map[string]int64 `json:"router,omitempty"`
+}
+
+// Artifact is the BENCH_cluster.json schema.
+type Artifact struct {
+	Generated string `json:"generated"`
+	Host      struct {
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		NumCPU     int    `json:"num_cpu"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		GoVersion  string `json:"go_version"`
+	} `json:"host"`
+	Config struct {
+		Keys            int     `json:"keys"`
+		Clients         int     `json:"clients"`
+		DurationSec     float64 `json:"duration_sec"`
+		Workers         int     `json:"workers"`
+		CacheEntries    int     `json:"cache_entries"`
+		AnalysisEntries int     `json:"analysis_entries"`
+		VNodes          int     `json:"vnodes"`
+	} `json:"config"`
+	Single  *RunPoint `json:"single"`
+	Cluster *RunPoint `json:"cluster"`
+	// Speedup is clustered ok-requests/sec over single-replica — the
+	// aggregate-cache-capacity win (≥ 2.5 is the smoke bar).
+	Speedup float64 `json:"speedup"`
+}
+
+// sweepNest renders the i-th distinct spec of the sweep: a tiled
+// matmul-shaped nest whose name embeds i, so each spec canonicalizes to its
+// own nest text — giving it its own response key AND its own analysis-cache
+// entry (a sweep that only varied env would thrash one LRU but not the
+// other, understating the single-replica miss cost).
+func sweepNest(i int) string {
+	return fmt.Sprintf(`nest sweep%03d
+array A[N, N]
+array B[N, N]
+array C[N, N]
+array D[N, N]
+array E[N, N]
+array F[N, N]
+array G[N, N]
+
+for iT = ceil(N/TI) {
+  for jT = ceil(N/TJ) {
+    for iI = TI { for jI = TJ {
+      S0: C[iT*TI + iI, jT*TJ + jI] = 0
+    } }
+    for iI = TI { for jI = TJ {
+      S1: E[iT*TI + iI, jT*TJ + jI] = 0
+    } }
+    for iI = TI { for jI = TJ {
+      S2: G[iT*TI + iI, jT*TJ + jI] = 0
+    } }
+    for kT = ceil(N/TK) {
+      for iI = TI { for jI = TJ { for kI = TK {
+        S3: C[iT*TI + iI, jT*TJ + jI] += A[iT*TI + iI, kT*TK + kI] * B[kT*TK + kI, jT*TJ + jI]
+      } } }
+      for iI = TI { for jI = TJ { for kI = TK {
+        S4: E[iT*TI + iI, jT*TJ + jI] += C[iT*TI + iI, kT*TK + kI] * D[kT*TK + kI, jT*TJ + jI]
+      } } }
+      for iI = TI { for jI = TJ { for kI = TK {
+        S5: G[iT*TI + iI, jT*TJ + jI] += E[iT*TI + iI, kT*TK + kI] * F[kT*TK + kI, jT*TJ + jI]
+      } } }
+    }
+  }
+}
+`, i)
+}
+
+func sweepBody(i int) []byte {
+	req := struct {
+		Nest    string           `json:"nest"`
+		Env     map[string]int64 `json:"env"`
+		CacheKB int64            `json:"cacheKB"`
+	}{
+		Nest:    sweepNest(i),
+		Env:     map[string]int64{"N": 64, "TI": 8, "TJ": 8, "TK": 8},
+		CacheKB: 4,
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func main() {
+	var (
+		out             = flag.String("o", "BENCH_cluster.json", "output artifact path (empty = don't write)")
+		replicas        = flag.Int("replicas", 4, "clustered run's replica count")
+		keys            = flag.Int("keys", 24, "distinct specs in the sweep (must exceed -cache-entries)")
+		clients         = flag.Int("clients", 8, "concurrent closed-loop clients")
+		duration        = flag.Duration("duration", 2*time.Second, "wall-clock duration per measured run")
+		workers         = flag.Int("workers", 1, "workers per replica")
+		cacheEntries    = flag.Int("cache-entries", 20, "response-cache capacity per replica")
+		analysisEntries = flag.Int("analysis-entries", 16, "analysis-cache capacity per replica")
+		smoke           = flag.Bool("smoke", false, "assert clustered throughput ≥ 2.5× single-replica")
+	)
+	flag.Parse()
+	if err := run(*out, *replicas, *keys, *clients, *duration, *workers, *cacheEntries, *analysisEntries, *smoke); err != nil {
+		fmt.Fprintln(os.Stderr, "clusterbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, replicas, keys, clients int, duration time.Duration, workers, cacheEntries, analysisEntries int, smoke bool) error {
+	if keys <= cacheEntries {
+		return fmt.Errorf("-keys %d must exceed -cache-entries %d or the single replica never thrashes", keys, cacheEntries)
+	}
+	if keys/replicas > cacheEntries {
+		return fmt.Errorf("-keys/-replicas %d exceeds -cache-entries %d — the clustered run would thrash too", keys/replicas, cacheEntries)
+	}
+
+	var art Artifact
+	art.Generated = time.Now().UTC().Format(time.RFC3339)
+	art.Host.GOOS = runtime.GOOS
+	art.Host.GOARCH = runtime.GOARCH
+	art.Host.NumCPU = runtime.NumCPU()
+	art.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	art.Host.GoVersion = runtime.Version()
+	art.Config.Keys = keys
+	art.Config.Clients = clients
+	art.Config.DurationSec = duration.Seconds()
+	art.Config.Workers = workers
+	art.Config.CacheEntries = cacheEntries
+	art.Config.AnalysisEntries = analysisEntries
+	art.Config.VNodes = cluster.DefaultVNodes
+
+	// Oracle: the direct library computation, with caches sized to hold the
+	// whole sweep (the oracle measures nothing).
+	oracle := service.New(service.Config{
+		Workers: 1, CacheEntries: 4 * keys, AnalysisEntries: 2 * keys,
+	})
+	script := make([]loadtest.Request, keys)
+	for i := 0; i < keys; i++ {
+		body := sweepBody(i)
+		want, err := oracle.Compute(context.Background(), "/v1/predict", body)
+		if err != nil {
+			oracle.Close()
+			return fmt.Errorf("direct compute of sweep spec %d: %w", i, err)
+		}
+		script[i] = loadtest.Request{Path: "/v1/predict", Body: body, Want: want, Tag: "sweep"}
+	}
+	oracle.Close()
+
+	scfg := service.Config{
+		Workers:         workers,
+		QueueDepth:      256,
+		CacheEntries:    cacheEntries,
+		AnalysisEntries: analysisEntries,
+	}
+	measure := func(n int) (*RunPoint, error) {
+		m := obs.New()
+		lc, err := cluster.StartLocal(n, scfg, cluster.Config{
+			ProbeInterval: 100 * time.Millisecond,
+			Obs:           m,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), service.DrainTimeout)
+			defer cancel()
+			lc.Close(ctx)
+		}()
+		// One warm-up pass so the clustered run measures its steady state;
+		// the single replica gets the identical pass and thrashes anyway —
+		// cyclic access over more keys than LRU slots hits nothing.
+		if _, err := (loadtest.Options{BaseURL: lc.URL(), Clients: 1, Rounds: 1, Script: script}).Run(); err != nil {
+			return nil, err
+		}
+		res, err := loadtest.Options{BaseURL: lc.URL(), Clients: clients, Duration: duration, Script: script}.Run()
+		if err != nil {
+			return nil, err
+		}
+		if res.Mismatches > 0 || res.Errors > 0 {
+			return nil, fmt.Errorf("%d-replica run: %d mismatches, %d transport errors — routing must be invisible in the bytes", n, res.Mismatches, res.Errors)
+		}
+		rp := &RunPoint{Replicas: n, Result: *res, Router: map[string]int64{}}
+		for i := 0; i < n; i++ {
+			rp.ReplicaCacheEntries = append(rp.ReplicaCacheEntries, lc.ReplicaServer(i).Service.Health().FlightCacheEntries)
+		}
+		for name, v := range m.Counters() {
+			rp.Router[name] = v
+		}
+		fmt.Printf("clusterbench: replicas=%d %8.0f ok-req/s  p50 %s  p99 %s  caches %v (%d requests, %d verified)\n",
+			n, res.Throughput,
+			time.Duration(res.Latency.P50Nanos), time.Duration(res.Latency.P99Nanos),
+			rp.ReplicaCacheEntries, res.Requests, res.Verified)
+		return rp, nil
+	}
+
+	single, err := measure(1)
+	if err != nil {
+		return err
+	}
+	art.Single = single
+	clustered, err := measure(replicas)
+	if err != nil {
+		return err
+	}
+	art.Cluster = clustered
+
+	if single.Result.Throughput > 0 {
+		art.Speedup = clustered.Result.Throughput / single.Result.Throughput
+	}
+	fmt.Printf("clusterbench: %d-replica speedup over single: %.2fx\n", replicas, art.Speedup)
+
+	if smoke && art.Speedup < 2.5 {
+		return fmt.Errorf("smoke: %d-replica speedup %.2fx < 2.5x", replicas, art.Speedup)
+	}
+	if smoke {
+		fmt.Printf("clusterbench: smoke ok — %.2fx ≥ 2.5x\n", art.Speedup)
+	}
+
+	if out == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(&art, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("clusterbench: wrote %s\n", out)
+	return nil
+}

@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/loadtest"
@@ -101,26 +102,28 @@ type Artifact struct {
 	Server map[string]int64 `json:"server,omitempty"`
 }
 
-type scriptEntry struct{ path, body string }
+// scriptEntry is one scripted request; tag groups its latencies in the
+// per-tag percentile report (Result.ByTag).
+type scriptEntry struct{ path, body, tag string }
 
 var scenarios = struct{ predictHot, mixed []scriptEntry }{
 	predictHot: []scriptEntry{
-		{"/v1/predict", `{"kernel":"matmul","n":64,"tiles":[8,8,8],"cacheKB":64}`},
+		{"/v1/predict", `{"kernel":"matmul","n":64,"tiles":[8,8,8],"cacheKB":64}`, "predict-hot"},
 	},
 	mixed: []scriptEntry{
-		{"/v1/predict", `{"kernel":"matmul","n":64,"tiles":[8,8,8],"cacheKB":64}`},
-		{"/v1/predict", `{"kernel":"matmul","n":64,"tiles":[16,16,16],"cacheKB":64}`},
-		{"/v1/analyze", `{"kernel":"matmul","n":64,"tiles":[8,8,8]}`},
-		{"/v1/simulate", `{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4]}`},
+		{"/v1/predict", `{"kernel":"matmul","n":64,"tiles":[8,8,8],"cacheKB":64}`, "predict"},
+		{"/v1/predict", `{"kernel":"matmul","n":64,"tiles":[16,16,16],"cacheKB":64}`, "predict"},
+		{"/v1/analyze", `{"kernel":"matmul","n":64,"tiles":[8,8,8]}`, "analyze"},
+		{"/v1/simulate", `{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4]}`, "simulate-exact"},
 		// The same simulation through the other engines: analytic skips the
 		// trace walk (and handles sizes exact rejects), sampled estimates
 		// deterministically — both verify byte-for-byte like everything else.
-		{"/v1/simulate", `{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4],"engine":"analytic"}`},
-		{"/v1/simulate", `{"kernel":"matmul","n":256,"tiles":[32,32,32],"watchKB":[16],"engine":"analytic"}`},
-		{"/v1/simulate", `{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4],"engine":"sampled"}`},
+		{"/v1/simulate", `{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4],"engine":"analytic"}`, "simulate-analytic"},
+		{"/v1/simulate", `{"kernel":"matmul","n":256,"tiles":[32,32,32],"watchKB":[16],"engine":"analytic"}`, "simulate-analytic"},
+		{"/v1/simulate", `{"kernel":"matmul","n":16,"tiles":[4,4,4],"watchKB":[1,4],"engine":"sampled"}`, "simulate-sampled"},
 		// The joint transformation-plan search on the unfused two-index
 		// chain — the heaviest per-miss computation in the mix.
-		{"/v1/optimize", `{"kernel":"twoindexchain","n":32,"cacheElems":256,"autoTile":false}`},
+		{"/v1/optimize", `{"kernel":"twoindexchain","n":32,"cacheElems":256,"autoTile":false}`, "optimize"},
 	},
 }
 
@@ -263,7 +266,7 @@ func run(out, addr, scenario string, batchSz, clients int, duration time.Duratio
 			if err != nil {
 				return nil, nil, err
 			}
-			script = append(script, loadtest.Request{Path: r.path, Body: []byte(r.body), Want: w})
+			script = append(script, loadtest.Request{Path: r.path, Body: []byte(r.body), Want: w, Tag: r.tag})
 			paths = append(paths, r.path)
 		}
 		return script, paths, nil
@@ -290,6 +293,18 @@ func run(out, addr, scenario string, batchSz, clients int, duration time.Duratio
 		fmt.Printf("  p50 %s  p99 %s  (%d requests, %d verified, %d mismatches, %d errors)\n",
 			time.Duration(res.Latency.P50Nanos), time.Duration(res.Latency.P99Nanos),
 			res.Requests, res.Verified, res.Mismatches, res.Errors)
+		// Per-tag percentiles, sorted, so a mixed script's endpoints are
+		// individually readable (and machine-readable via Result.ByTag).
+		tags := make([]string, 0, len(res.ByTag))
+		for tag := range res.ByTag {
+			tags = append(tags, tag)
+		}
+		sort.Strings(tags)
+		for _, tag := range tags {
+			ls := res.ByTag[tag]
+			fmt.Printf("loadgen: %-11s   tag %-17s p50 %-10s p90 %-10s p99 %s\n",
+				name, tag, time.Duration(ls.P50Nanos), time.Duration(ls.P90Nanos), time.Duration(ls.P99Nanos))
+		}
 	}
 
 	runScript := func(name string, nClients int, script []loadtest.Request) (*loadtest.Result, error) {
@@ -348,7 +363,7 @@ func run(out, addr, scenario string, batchSz, clients int, duration time.Duratio
 			}
 			name := fmt.Sprintf("batch-%d", size)
 			res, err := runScript(name, clients, []loadtest.Request{
-				{Path: "/v1/batch", Body: body, Want: w, Items: size},
+				{Path: "/v1/batch", Body: body, Want: w, Items: size, Tag: name},
 			})
 			if err != nil {
 				return err
@@ -413,10 +428,10 @@ func run(out, addr, scenario string, batchSz, clients int, duration time.Duratio
 			return err
 		}
 		script := []loadtest.Request{
-			{Path: "/v1/batch?stream=1", Body: bb, Want: sw, Items: 8, Check: ndjsonCheck},
-			{Path: "/v1/tilesearch?stream=1", Body: []byte(tsBody),
+			{Path: "/v1/batch?stream=1", Body: bb, Want: sw, Items: 8, Check: ndjsonCheck, Tag: "batch-stream"},
+			{Path: "/v1/tilesearch?stream=1", Body: []byte(tsBody), Tag: "tilesearch-stream",
 				Check: resultStreamCheck(bytes.TrimSuffix(tsDirect, []byte{'\n'}))},
-			{Path: "/v1/optimize?stream=1", Body: []byte(optBody),
+			{Path: "/v1/optimize?stream=1", Body: []byte(optBody), Tag: "optimize-stream",
 				Check: resultStreamCheck(bytes.TrimSuffix(optDirect, []byte{'\n'}))},
 		}
 		res, err := runScript("stream", clients, script)

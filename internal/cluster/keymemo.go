@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// keyMemoCap bounds the router's (path, body) → canonical-key memo; 1024
+// entries mirrors the service's own plan memo, and a steady-state load
+// usually cycles far fewer distinct bodies than that.
+const keyMemoCap = 1024
+
+// maxKeyMemoBody bounds memoized bodies: a pathological client sending
+// megabyte bodies must not evict the whole memo with one request. Larger
+// bodies still route — they just re-derive the key each time.
+const maxKeyMemoBody = 4096
+
+// keyMemo memoizes canonical shard keys per exact (path, body) byte pair —
+// the router-side twin of the service's plan memo. Deriving a canonical key
+// means decoding the body and canonicalizing the spec; a hot client
+// replaying the same bytes should pay that once. Planning errors are
+// memoized too: a malformed body is malformed forever, and re-rejecting it
+// should not cost a re-parse.
+type keyMemo struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List
+
+	hits, misses *obs.Counter
+}
+
+type keyMemoEntry struct {
+	memoKey string
+	key     string
+	err     error
+}
+
+func newKeyMemo(m *obs.Metrics) *keyMemo {
+	return &keyMemo{
+		entries: make(map[string]*list.Element, keyMemoCap),
+		lru:     list.New(),
+		hits:    m.Counter("router.keymemo.hits"),
+		misses:  m.Counter("router.keymemo.misses"),
+	}
+}
+
+// lookup returns the canonical key for (path, body), consulting the memo
+// first. The memo key is path NUL body — the same framing the service's
+// plan memo uses.
+func (km *keyMemo) lookup(path string, body []byte) (string, error) {
+	if len(body) > maxKeyMemoBody {
+		km.misses.Inc()
+		return service.CanonicalKeyForRequest(path, body)
+	}
+	memoKey := path + "\x00" + string(body)
+	km.mu.Lock()
+	if el, ok := km.entries[memoKey]; ok {
+		km.lru.MoveToFront(el)
+		e := el.Value.(*keyMemoEntry)
+		km.mu.Unlock()
+		km.hits.Inc()
+		return e.key, e.err
+	}
+	km.mu.Unlock()
+	km.misses.Inc()
+
+	key, err := service.CanonicalKeyForRequest(path, body)
+
+	km.mu.Lock()
+	if _, ok := km.entries[memoKey]; !ok {
+		km.entries[memoKey] = km.lru.PushFront(&keyMemoEntry{memoKey: memoKey, key: key, err: err})
+		if km.lru.Len() > keyMemoCap {
+			oldest := km.lru.Back()
+			km.lru.Remove(oldest)
+			delete(km.entries, oldest.Value.(*keyMemoEntry).memoKey)
+		}
+	}
+	km.mu.Unlock()
+	return key, err
+}
+
+// len reports the memo population (tests).
+func (km *keyMemo) len() int {
+	km.mu.Lock()
+	defer km.mu.Unlock()
+	return km.lru.Len()
+}

@@ -1,0 +1,346 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/service"
+)
+
+// batchGroup is one replica's share of a split batch: the original combined
+// indices it owns, the synthesized sub-batch body, and the candidate list
+// (owner plus successors) to send it through.
+type batchGroup struct {
+	replica string
+	indices []int
+	body    []byte
+	cands   []string
+}
+
+// serveBatch splits a /v1/batch request by item key: each expanded item
+// (explicit items and candidate rows alike, via service.ExpandBatch — the
+// same expansion the replicas run) goes to the replica owning its canonical
+// key, the per-replica sub-batches fan out concurrently, and the item
+// records come back spliced into one envelope in the original combined
+// order — byte-identical to what a single backend would have served,
+// because records, summary, and error rendering all reuse the service's own
+// exported renderers.
+func (rt *Router) serveBatch(w http.ResponseWriter, r *http.Request) {
+	sw := rt.latency.Start()
+	defer sw.Stop()
+	body, release, ok := rt.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	exp, err := service.ExpandBatch(body, rt.cfg.MaxBatchItems)
+	if err != nil {
+		// Same batch-level taxonomy as the backend: an over-cap batch is
+		// rejected whole with 429, anything else malformed is a 400.
+		if errors.Is(err, service.ErrOverload) {
+			rt.rejected.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+			return
+		}
+		rt.errs.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+
+	groups, gerr := rt.groupItems(exp)
+	if gerr != nil {
+		rt.noReplica.Inc()
+		rt.rejected.Inc()
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "no healthy replica"})
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
+	defer cancel()
+
+	type groupResult struct {
+		status int
+		body   []byte
+		ra     string // Retry-After of a relayed failure
+		err    error
+	}
+	results := make([]groupResult, len(groups))
+	var wg sync.WaitGroup
+	for gi := range groups {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			resp, done, err := rt.hedgedDo(ctx, "/v1/batch", "", groups[gi].body, groups[gi].cands)
+			if err != nil {
+				results[gi] = groupResult{err: err}
+				return
+			}
+			defer done()
+			b, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				results[gi] = groupResult{err: rerr}
+				return
+			}
+			results[gi] = groupResult{status: resp.StatusCode, body: b, ra: resp.Header.Get("Retry-After")}
+		}(gi)
+	}
+	wg.Wait()
+
+	// Splice sub-responses back into combined order. Any whole-group failure
+	// fails the whole batch — the alternative (fabricating per-item error
+	// records for one group) would make the envelope depend on routing, and
+	// the envelope must be a pure function of the request.
+	records := make([][]byte, len(exp.Items))
+	oks := make([]bool, len(exp.Items))
+	for gi := range groups {
+		res, g := &results[gi], &groups[gi]
+		if res.err != nil {
+			switch {
+			case errors.Is(res.err, context.DeadlineExceeded):
+				rt.errs.Inc()
+				writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "timed out waiting for replica"})
+			case errors.Is(res.err, errNoReplica):
+				rt.noReplica.Inc()
+				rt.rejected.Inc()
+				writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "no healthy replica"})
+			default:
+				rt.errs.Inc()
+				writeJSON(w, http.StatusBadGateway, errorBody{Error: res.err.Error()})
+			}
+			return
+		}
+		if res.status != http.StatusOK {
+			// Relay the replica's own failure verbatim (e.g. every candidate
+			// overloaded → its 429 body and Retry-After).
+			rt.finish(res.status)
+			if res.ra != "" {
+				w.Header().Set("Retry-After", res.ra)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(res.status)
+			w.Write(res.body)
+			return
+		}
+		if err := spliceGroup(records, oks, g, res.body); err != nil {
+			rt.errs.Inc()
+			writeJSON(w, http.StatusBadGateway, errorBody{Error: err.Error()})
+			return
+		}
+	}
+
+	rt.finish(http.StatusOK)
+	if r.URL.Query().Get("stream") == "1" {
+		rt.writeBatchStream(w, exp, records, oks)
+		return
+	}
+	rt.writeBatchEnvelope(w, exp, records, oks)
+}
+
+// groupItems assigns every valid item to its owning replica (the first
+// healthy successor of its key — during a replica's drain its keys land on
+// the next successor, losslessly) and builds each group's sub-batch body.
+// Items with planning errors are rendered locally and join no group. The
+// error return means no replica is healthy at all.
+func (rt *Router) groupItems(exp *service.BatchExpansion) ([]batchGroup, error) {
+	byReplica := map[string]*batchGroup{}
+	for i := range exp.Items {
+		it := &exp.Items[i]
+		if it.Err != nil {
+			continue
+		}
+		cands := rt.candidates(it.Key)
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("cluster: no healthy replica")
+		}
+		g, ok := byReplica[cands[0]]
+		if !ok {
+			g = &batchGroup{replica: cands[0], cands: cands}
+			byReplica[g.replica] = g
+		}
+		g.indices = append(g.indices, i)
+	}
+	groups := make([]batchGroup, 0, len(byReplica))
+	for _, g := range byReplica {
+		groups = append(groups, *g)
+	}
+	// Deterministic group order so a multi-group failure relays a
+	// deterministic replica's answer.
+	sort.Slice(groups, func(a, b int) bool { return groups[a].replica < groups[b].replica })
+	for gi := range groups {
+		groups[gi].body = subBatchBody(exp, groups[gi].indices)
+	}
+	return groups, nil
+}
+
+// subBatchBody renders one group's items as an explicit-items /v1/batch
+// body. Candidate rows travel as their synthesized single-predict bodies —
+// ExpandBatch guarantees those plan to the row's exact key and bytes on the
+// receiving replica.
+func subBatchBody(exp *service.BatchExpansion, indices []int) []byte {
+	var sb bytes.Buffer
+	sb.WriteString(`{"items":[`)
+	for j, idx := range indices {
+		if j > 0 {
+			sb.WriteByte(',')
+		}
+		it := &exp.Items[idx]
+		sb.WriteString(`{"path":`)
+		p, _ := json.Marshal(it.Path)
+		sb.Write(p)
+		sb.WriteString(`,"request":`)
+		sb.Write(it.Body)
+		sb.WriteByte('}')
+	}
+	sb.WriteString(`]}`)
+	return sb.Bytes()
+}
+
+// spliceGroup distributes one sub-batch envelope's records back to their
+// original combined indices, rewriting each record's leading item index.
+// Everything after the index is relayed byte-for-byte.
+func spliceGroup(records [][]byte, oks []bool, g *batchGroup, envelope []byte) error {
+	var env struct {
+		Items []json.RawMessage `json:"items"`
+	}
+	if err := json.Unmarshal(envelope, &env); err != nil {
+		return fmt.Errorf("cluster: replica %s sent a malformed batch envelope: %w", g.replica, err)
+	}
+	if len(env.Items) != len(g.indices) {
+		return fmt.Errorf("cluster: replica %s answered %d records for %d items", g.replica, len(env.Items), len(g.indices))
+	}
+	for j, raw := range env.Items {
+		idx := g.indices[j]
+		rec, err := reindexRecord(raw, idx)
+		if err != nil {
+			return fmt.Errorf("cluster: replica %s: %w", g.replica, err)
+		}
+		records[idx] = rec
+		var flag struct {
+			OK bool `json:"ok"`
+		}
+		if err := json.Unmarshal(raw, &flag); err != nil {
+			return fmt.Errorf("cluster: replica %s sent a malformed item record: %w", g.replica, err)
+		}
+		oks[idx] = flag.OK
+	}
+	return nil
+}
+
+// recordPrefix is how every batch item record begins; reindexRecord relies
+// on it (and the backend's appendItemRecord guarantees it).
+const recordPrefix = `{"item":`
+
+// reindexRecord rewrites a record's item index from the sub-batch's local
+// numbering to the original combined index.
+func reindexRecord(rec []byte, idx int) ([]byte, error) {
+	if !bytes.HasPrefix(rec, []byte(recordPrefix)) {
+		return nil, fmt.Errorf("item record %q lacks the item prefix", truncate(rec, 40))
+	}
+	j := len(recordPrefix)
+	for j < len(rec) && rec[j] >= '0' && rec[j] <= '9' {
+		j++
+	}
+	if j == len(recordPrefix) {
+		return nil, fmt.Errorf("item record %q has no index", truncate(rec, 40))
+	}
+	out := make([]byte, 0, len(rec)+4)
+	out = append(out, recordPrefix...)
+	out = strconv.AppendInt(out, int64(idx), 10)
+	out = append(out, rec[j:]...)
+	return out, nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "..."
+}
+
+// writeBatchEnvelope assembles the aggregated batch response: remote
+// records verbatim (reindexed), local planning errors rendered with the
+// service's own record renderer, the summary with the service's own
+// summary renderer — the exact bytes one backend would have served.
+func (rt *Router) writeBatchEnvelope(w http.ResponseWriter, exp *service.BatchExpansion, records [][]byte, oks []bool) {
+	var out bytes.Buffer
+	out.WriteString(`{"items":[`)
+	okN, errN := 0, 0
+	var rec []byte
+	for i := range exp.Items {
+		if i > 0 {
+			out.WriteByte(',')
+		}
+		if it := &exp.Items[i]; it.Err != nil {
+			rec = service.AppendBatchItemRecord(rec[:0], i, nil, it.Err)
+			out.Write(rec)
+			errN++
+			continue
+		}
+		out.Write(records[i])
+		if oks[i] {
+			okN++
+		} else {
+			errN++
+		}
+	}
+	out.WriteString(`],"summary":`)
+	rec = service.AppendBatchSummary(rec[:0], len(exp.Items), okN, errN)
+	out.Write(rec)
+	out.WriteString("}\n")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(out.Bytes())
+}
+
+// writeBatchStream emits the assembled batch as NDJSON with the same line
+// shapes as a backend's ?stream=1: one record line per item in combined
+// order, then the {"summary":...} trailer. The router buffers the split
+// anyway (records arrive per replica, not in combined order), so the
+// stream's value here is the framing contract, not incrementality.
+func (rt *Router) writeBatchStream(w http.ResponseWriter, exp *service.BatchExpansion, records [][]byte, oks []bool) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	okN, errN := 0, 0
+	var rec []byte
+	for i := range exp.Items {
+		if it := &exp.Items[i]; it.Err != nil {
+			rec = service.AppendBatchItemRecord(rec[:0], i, nil, it.Err)
+			errN++
+		} else {
+			rec = append(rec[:0], records[i]...)
+			if oks[i] {
+				okN++
+			} else {
+				errN++
+			}
+		}
+		rec = append(rec, '\n')
+		if _, err := w.Write(rec); err != nil {
+			return
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	rec = append(rec[:0], `{"summary":`...)
+	rec = service.AppendBatchSummary(rec, len(exp.Items), okN, errN)
+	rec = append(rec, '}', '\n')
+	if _, err := w.Write(rec); err != nil {
+		return
+	}
+	if fl != nil {
+		fl.Flush()
+	}
+}

@@ -68,50 +68,79 @@ type batchPlan struct {
 	err   error
 }
 
-// planBatch decodes and plans a /v1/batch body. Deterministic, like every
-// plan: the same body always yields the same keys, computations and errors,
-// which is what makes the whole result memoizable by body bytes.
-func (s *Service) planBatch(body []byte) *batchPlan {
+// BatchItemSpec is one expanded batch entry in combined (items-then-
+// candidate-rows) order: the single-endpoint request it is equivalent to,
+// its canonical cache/shard key, or the planning error that will become its
+// item record. For explicit items Body is the request verbatim; for
+// candidate rows it is a synthesized /v1/predict body over the canonical
+// nest that plans to the same key and the same response bytes — which is
+// what lets the cluster router re-route each row to the replica owning its
+// key and still assemble a byte-identical envelope.
+type BatchItemSpec struct {
+	Path string
+	Body []byte
+	Key  string
+	Err  error
+
+	compute computeFn
+}
+
+// BatchExpansion is a decoded, per-item-planned /v1/batch body.
+type BatchExpansion struct {
+	Items []BatchItemSpec
+}
+
+// ExpandBatch decodes a /v1/batch body into its combined item list.
+// Batch-level problems (malformed envelope, no items, an item count above
+// maxItems — the latter wrapped in ErrOverload — or an invalid candidates
+// header) are returned as the error; per-item problems land in the items.
+// Deterministic, like every plan: the same body always yields the same
+// keys, bodies and errors, which is what makes the result memoizable by
+// body bytes and makes router-side and service-side batch views agree.
+func ExpandBatch(body []byte, maxItems int) (*BatchExpansion, error) {
 	var req BatchRequest
 	if err := decodeInto(body, &req); err != nil {
-		return &batchPlan{err: err}
+		return nil, err
 	}
 	n := len(req.Items)
 	if req.Candidates != nil {
 		n += len(req.Candidates.Sets)
 	}
 	if n == 0 {
-		return &batchPlan{err: fmt.Errorf("%w: batch needs items or candidates", errBadRequest)}
+		return nil, fmt.Errorf("%w: batch needs items or candidates", errBadRequest)
 	}
-	if n > s.cfg.MaxBatchItems {
-		return &batchPlan{err: fmt.Errorf("%w: batch of %d items exceeds cap %d", ErrOverload, n, s.cfg.MaxBatchItems)}
+	if n > maxItems {
+		return nil, fmt.Errorf("%w: batch of %d items exceeds cap %d", ErrOverload, n, maxItems)
 	}
-	plan := &batchPlan{items: make([]itemPlan, 0, n)}
+	exp := &BatchExpansion{Items: make([]BatchItemSpec, 0, n)}
 	for i := range req.Items {
 		it := &req.Items[i]
 		switch it.Path {
 		case "/v1/analyze", "/v1/predict", "/v1/simulate", "/v1/tilesearch", "/v1/optimize":
-			key, compute, err := s.plan(it.Path, it.Request)
-			plan.items = append(plan.items, itemPlan{key: key, compute: compute, err: err})
+			key, compute, err := parseRequest(it.Path, it.Request)
+			exp.Items = append(exp.Items, BatchItemSpec{
+				Path: it.Path, Body: it.Request, Key: key, Err: err, compute: compute,
+			})
 		default:
-			plan.items = append(plan.items, itemPlan{
-				err: fmt.Errorf("%w: path %q is not batchable", errBadRequest, it.Path),
+			exp.Items = append(exp.Items, BatchItemSpec{
+				Path: it.Path,
+				Err:  fmt.Errorf("%w: path %q is not batchable", errBadRequest, it.Path),
 			})
 		}
 	}
 	if req.Candidates != nil {
-		if err := s.planCandidates(plan, req.Candidates); err != nil {
-			return &batchPlan{err: err}
+		if err := expandCandidates(exp, req.Candidates); err != nil {
+			return nil, err
 		}
 	}
-	return plan
+	return exp, nil
 }
 
-// planCandidates expands the candidates form into per-row predict plans.
+// expandCandidates expands the candidates form into per-row predict plans.
 // Header problems (bad spec, bad capacity, bad dims) are batch-level
 // errors — nothing sensible can be computed per row — while a malformed
 // individual row only fails that row's item.
-func (s *Service) planCandidates(plan *batchPlan, c *BatchCandidates) error {
+func expandCandidates(exp *BatchExpansion, c *BatchCandidates) error {
 	spec, nest, err := c.resolve()
 	if err != nil {
 		return err
@@ -143,8 +172,9 @@ func (s *Service) planCandidates(plan *batchPlan, c *BatchCandidates) error {
 	}
 	for _, set := range c.Sets {
 		if len(set) != len(c.Dims) {
-			plan.items = append(plan.items, itemPlan{
-				err: fmt.Errorf("%w: candidate has %d values for %d dims", errBadRequest, len(set), len(c.Dims)),
+			exp.Items = append(exp.Items, BatchItemSpec{
+				Path: "/v1/predict",
+				Err:  fmt.Errorf("%w: candidate has %d values for %d dims", errBadRequest, len(set), len(c.Dims)),
 			})
 			continue
 		}
@@ -155,8 +185,9 @@ func (s *Service) planCandidates(plan *batchPlan, c *BatchCandidates) error {
 		bad := false
 		for j, v := range set {
 			if v < 1 {
-				plan.items = append(plan.items, itemPlan{
-					err: fmt.Errorf("%w: tile size must be >= 1, got %s=%d", errBadRequest, c.Dims[j], v),
+				exp.Items = append(exp.Items, BatchItemSpec{
+					Path: "/v1/predict",
+					Err:  fmt.Errorf("%w: tile size must be >= 1, got %s=%d", errBadRequest, c.Dims[j], v),
 				})
 				bad = true
 				break
@@ -169,16 +200,53 @@ func (s *Service) planCandidates(plan *batchPlan, c *BatchCandidates) error {
 		// The overridden symbols are nest symbols, so the spec stays
 		// canonical by construction and its predict key is byte-identical
 		// to the equivalent single /v1/predict — candidate rows and single
-		// requests share cache entries.
+		// requests share cache entries. The synthesized body inlines the
+		// canonical nest with the row's environment and copies the header's
+		// capacity/geometry/detail fields, so a replica planning it lands on
+		// the same key and computes the same bytes as this row.
 		rowSpec := &loopir.Spec{Nest: spec.Nest, Env: env}
-		plan.items = append(plan.items, itemPlan{
-			key: predictKey(rowSpec, cfg, c.Detail),
-			compute: func(ctx context.Context) ([]byte, error) {
+		rowBody, merr := marshal(PredictRequest{
+			NestRequest: NestRequest{Nest: rowSpec.Nest, Env: rowSpec.Env},
+			CacheElems:  cfg.CapacityElems,
+			Ways:        c.Ways,
+			Line:        c.Line,
+			Detail:      c.Detail,
+		})
+		if merr != nil {
+			exp.Items = append(exp.Items, BatchItemSpec{Path: "/v1/predict", Err: merr})
+			continue
+		}
+		exp.Items = append(exp.Items, BatchItemSpec{
+			Path: "/v1/predict",
+			Body: bytes.TrimSuffix(rowBody, []byte{'\n'}),
+			Key:  predictKey(rowSpec, cfg, c.Detail),
+			compute: func(s *Service, ctx context.Context) ([]byte, error) {
 				return s.computePredict(ctx, rowSpec, cfg, c.Detail)
 			},
 		})
 	}
 	return nil
+}
+
+// planBatch binds ExpandBatch's outcome to this service instance, the
+// batch counterpart of plan.
+func (s *Service) planBatch(body []byte) *batchPlan {
+	exp, err := ExpandBatch(body, s.cfg.MaxBatchItems)
+	if err != nil {
+		return &batchPlan{err: err}
+	}
+	plan := &batchPlan{items: make([]itemPlan, len(exp.Items))}
+	for i := range exp.Items {
+		it := &exp.Items[i]
+		plan.items[i] = itemPlan{key: it.Key, err: it.Err}
+		if it.Err == nil {
+			fn := it.compute
+			plan.items[i].compute = func(ctx context.Context) ([]byte, error) {
+				return fn(s, ctx)
+			}
+		}
+	}
+	return plan
 }
 
 // batchScratch is the pooled per-request working set of the batch path:
@@ -286,6 +354,20 @@ func appendItemRecord(dst []byte, idx int, data []byte, err error) []byte {
 		dst = append(dst, msg...)
 	}
 	return append(dst, '}')
+}
+
+// AppendBatchItemRecord renders one per-item batch record into dst exactly
+// as the batch endpoint would: the exported form of appendItemRecord, used
+// by the cluster router to render item records it resolves locally
+// (planning errors) byte-identically to a single backend's rendering.
+func AppendBatchItemRecord(dst []byte, idx int, response []byte, err error) []byte {
+	return appendItemRecord(dst, idx, response, err)
+}
+
+// AppendBatchSummary renders the batch summary object into dst exactly as
+// the batch endpoint would, for the cluster router's envelope reassembly.
+func AppendBatchSummary(dst []byte, items, ok, errs int) []byte {
+	return appendBatchSummary(dst, items, ok, errs)
 }
 
 // appendBatchSummary renders the terminal summary object.

@@ -617,11 +617,20 @@ func statusOf(err error) int {
 	return 400
 }
 
-// plan parses a request body for an endpoint path and returns its cache
-// key plus the computation that produces its response bytes. The HTTP
-// handlers and Compute share this single resolution path, which is what
-// makes served and directly-computed bytes identical by construction.
-func (s *Service) plan(path string, body []byte) (string, func(context.Context) ([]byte, error), error) {
+// computeFn is a parsed request's computation, abstracted over the service
+// instance that will run it: parseRequest resolves a (path, body) pair into
+// its canonical cache key and a computeFn without needing a Service, which
+// is what lets the cluster router derive shard keys through the exact same
+// code path the service plans requests through.
+type computeFn func(*Service, context.Context) ([]byte, error)
+
+// parseRequest parses a request body for an endpoint path and returns its
+// canonical cache key plus the computation that produces its response
+// bytes. The HTTP handlers, Compute, the batch expander and the cluster
+// router's key derivation all share this single resolution path, which is
+// what makes served, directly-computed and cluster-routed bytes identical
+// by construction.
+func parseRequest(path string, body []byte) (string, computeFn, error) {
 	switch path {
 	case "/v1/analyze":
 		var req AnalyzeRequest
@@ -632,7 +641,7 @@ func (s *Service) plan(path string, body []byte) (string, func(context.Context) 
 		if err != nil {
 			return "", nil, err
 		}
-		return analyzeKey(spec), func(ctx context.Context) ([]byte, error) {
+		return analyzeKey(spec), func(s *Service, ctx context.Context) ([]byte, error) {
 			return s.computeAnalyze(ctx, spec)
 		}, nil
 	case "/v1/predict":
@@ -652,7 +661,7 @@ func (s *Service) plan(path string, body []byte) (string, func(context.Context) 
 		if err != nil {
 			return "", nil, err
 		}
-		return predictKey(spec, cfg, req.Detail), func(ctx context.Context) ([]byte, error) {
+		return predictKey(spec, cfg, req.Detail), func(s *Service, ctx context.Context) ([]byte, error) {
 			return s.computePredict(ctx, spec, cfg, req.Detail)
 		}, nil
 	case "/v1/tilesearch":
@@ -672,7 +681,7 @@ func (s *Service) plan(path string, body []byte) (string, func(context.Context) 
 		if err != nil {
 			return "", nil, err
 		}
-		return tileSearchKey(spec, &req, cfg), func(ctx context.Context) ([]byte, error) {
+		return tileSearchKey(spec, &req, cfg), func(s *Service, ctx context.Context) ([]byte, error) {
 			return s.computeTileSearch(ctx, spec, &req, cfg)
 		}, nil
 	case "/v1/optimize":
@@ -681,7 +690,7 @@ func (s *Service) plan(path string, body []byte) (string, func(context.Context) 
 		if err != nil {
 			return "", nil, err
 		}
-		return optimizeKey(spec, &req, cfg), func(ctx context.Context) ([]byte, error) {
+		return optimizeKey(spec, &req, cfg), func(s *Service, ctx context.Context) ([]byte, error) {
 			return s.computeOptimize(ctx, spec, &req, cfg)
 		}, nil
 	case "/v1/simulate":
@@ -701,9 +710,36 @@ func (s *Service) plan(path string, body []byte) (string, func(context.Context) 
 		if err != nil {
 			return "", nil, fmt.Errorf("%w: %v", errBadRequest, err)
 		}
-		return simulateKey(spec, watches, req.PerSite, eng), func(ctx context.Context) ([]byte, error) {
+		return simulateKey(spec, watches, req.PerSite, eng), func(s *Service, ctx context.Context) ([]byte, error) {
 			return s.computeSimulate(ctx, spec, watches, req.PerSite, eng)
 		}, nil
 	}
 	return "", nil, fmt.Errorf("%w: unknown endpoint %s", errBadRequest, path)
+}
+
+// plan binds parseRequest's outcome to this service instance. The closure
+// is created once per plan-memo miss (planCached stores it), so the warm
+// path still costs one map probe.
+func (s *Service) plan(path string, body []byte) (string, func(context.Context) ([]byte, error), error) {
+	key, fn, err := parseRequest(path, body)
+	if err != nil {
+		return "", nil, err
+	}
+	return key, func(ctx context.Context) ([]byte, error) {
+		return fn(s, ctx)
+	}, nil
+}
+
+// CanonicalKeyForRequest derives the canonical cache/shard key of a single-
+// endpoint request body: the same key the service's own planner computes,
+// produced by the same resolution path (decode, canonicalize, key-pack), so
+// a router sharding on this key and a replica caching under it can never
+// disagree. /v1/batch has no single key — a batch is a set of per-item keys
+// (see ExpandBatch) — so it is rejected here.
+func CanonicalKeyForRequest(path string, body []byte) (string, error) {
+	if path == "/v1/batch" {
+		return "", fmt.Errorf("%w: /v1/batch has per-item keys; use ExpandBatch", errBadRequest)
+	}
+	key, _, err := parseRequest(path, body)
+	return key, err
 }

@@ -52,7 +52,20 @@ func (s *Service) Handler() http.Handler {
 		optPlain(w, r)
 	})
 	mux.Handle("/v1/batch", s.batchEndpoint())
+	// /healthz keeps its bare one-field contract (200 {"status":"ok"} /
+	// 503 {"error":"draining"}) for existing probes and goldens; ?v=1 opts
+	// into the enriched HealthStatus body the cluster prober consumes, with
+	// the same status-code semantics.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("v") == "1" {
+			h := s.Health()
+			code := http.StatusOK
+			if h.Draining {
+				code = http.StatusServiceUnavailable
+			}
+			writeJSON(w, code, h)
+			return
+		}
 		if s.draining.Load() {
 			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
 			return

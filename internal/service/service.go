@@ -122,6 +122,7 @@ type Service struct {
 	// decode plus N plannings.
 	batchPlans *memoLRU[*batchPlan]
 	draining   atomic.Bool
+	started    time.Time
 
 	total *obs.Counter // "service.requests"
 	eps   map[string]*epStats
@@ -162,6 +163,7 @@ func New(cfg Config) *Service {
 		batchItemsOK:  m.Counter("service.batch.items.ok"),
 		batchItemsErr: m.Counter("service.batch.items.errors"),
 		streamFlush:   m.Timer("service.stream.flush"),
+		started:       time.Now(),
 	}
 	s.pool = newWorkPool(cfg.Workers, cfg.QueueDepth, m.Gauge("service.queue.depth"))
 	for _, ep := range []string{"analyze", "predict", "tilesearch", "simulate", "optimize", "batch"} {
@@ -186,6 +188,35 @@ func New(cfg Config) *Service {
 func (s *Service) Close() {
 	s.draining.Store(true)
 	s.pool.close()
+}
+
+// HealthStatus is the JSON body of /healthz?v=1: the readiness signal
+// enriched with the load facts a cluster router's prober wants — queue
+// depth (accepted but unstarted work), response-cache population, the
+// draining flag and uptime. The bare /healthz answer (200/503 with the
+// original one-field bodies) is unchanged; the enrichment is opt-in so
+// existing probes and goldens keep their bytes.
+type HealthStatus struct {
+	Status             string  `json:"status"` // "ok" or "draining"
+	Draining           bool    `json:"draining"`
+	UptimeSec          float64 `json:"uptimeSec"`
+	QueueDepth         int64   `json:"queueDepth"`
+	FlightCacheEntries int64   `json:"flightCacheEntries"`
+}
+
+// Health reports the service's current health snapshot.
+func (s *Service) Health() HealthStatus {
+	h := HealthStatus{
+		Status:             "ok",
+		Draining:           s.draining.Load(),
+		UptimeSec:          time.Since(s.started).Seconds(),
+		QueueDepth:         s.pool.depth.Load(),
+		FlightCacheEntries: int64(s.resp.len()),
+	}
+	if h.Draining {
+		h.Status = "draining"
+	}
+	return h
 }
 
 // getAnalysis returns the analyzed model for a canonical nest source,

@@ -1,11 +1,30 @@
 #!/bin/sh
 # serve_check: end-to-end lifecycle check of analysisd — start it on a free
 # port, wait for readiness, exercise one request per endpoint, send SIGTERM,
-# and require a clean drain. CI runs this after the test suite.
+# and require a clean drain — then the same for the cluster tier: an
+# analysisrouter in front of two replicas, routed requests, the
+# all-backends-down 503, and a clean router drain. CI runs this after the
+# test suite.
 set -eu
 
 log=$(mktemp)
-trap 'rm -f "$log"; kill "$pid" 2>/dev/null || true' EXIT
+r1log=$(mktemp); r2log=$(mktemp); rtlog=$(mktemp)
+pid=""; r1pid=""; r2pid=""; rtpid=""
+trap 'rm -f "$log" "$r1log" "$r2log" "$rtlog"; kill $pid $r1pid $r2pid $rtpid 2>/dev/null || true' EXIT
+
+# wait_listen LOGFILE PREFIX PID: poll LOGFILE for "PREFIX ADDR" and print
+# the bound address.
+wait_listen() {
+    wl_addr=""
+    for i in $(seq 1 50); do
+        wl_addr=$(sed -n "s/^$2 //p" "$1" | head -n 1 | cut -d' ' -f1)
+        [ -n "$wl_addr" ] && break
+        kill -0 "$3" 2>/dev/null || { echo "serve_check: ${2%% *} died:" >&2; cat "$1" >&2; return 1; }
+        sleep 0.1
+    done
+    [ -n "$wl_addr" ] || { echo "serve_check: no listen line in $1" >&2; cat "$1" >&2; return 1; }
+    echo "$wl_addr"
+}
 
 go build -o /tmp/analysisd ./cmd/analysisd
 # -max-batch 4 so the oversized-batch rejection below is reachable with a
@@ -92,5 +111,60 @@ check 400 '/v1/predict?stream=1' '{"kernel":"matmul","n":16,"tiles":[4,4,4],"cac
 kill -TERM "$pid"
 wait "$pid" || { echo "serve_check: non-zero exit after SIGTERM"; cat "$log"; exit 1; }
 grep -q "drained cleanly" "$log" || { echo "serve_check: no clean-drain line"; cat "$log"; exit 1; }
+pid=""
 
 echo "serve_check: OK ($base)"
+
+# --- Cluster tier: analysisrouter in front of two replicas. ---
+
+go build -o /tmp/analysisrouter ./cmd/analysisrouter
+/tmp/analysisd -addr 127.0.0.1:0 >"$r1log" 2>&1 &
+r1pid=$!
+/tmp/analysisd -addr 127.0.0.1:0 >"$r2log" 2>&1 &
+r2pid=$!
+r1addr=$(wait_listen "$r1log" "analysisd listening on" "$r1pid")
+r2addr=$(wait_listen "$r2log" "analysisd listening on" "$r2pid")
+
+/tmp/analysisrouter -addr 127.0.0.1:0 \
+    -replicas "http://$r1addr,http://$r2addr" \
+    -probe-interval 100ms -hedge 50ms >"$rtlog" 2>&1 &
+rtpid=$!
+rtaddr=$(wait_listen "$rtlog" "analysisrouter listening on" "$rtpid")
+base="http://$rtaddr"
+
+# Router readiness, and the enriched health view must report both replicas.
+curl -sf "$base/healthz" >/dev/null || { echo "serve_check: router healthz failed"; exit 1; }
+health=$(curl -sf "$base/healthz?v=1")
+case $health in
+    *'"replicas"'*) ;;
+    *) echo "serve_check: router healthz?v=1 lacks replicas: $health"; exit 1 ;;
+esac
+
+# Routed requests answer through the backends with the backends' bytes:
+# a point predict, and a split candidates batch whose reassembled summary
+# matches what one backend would serve.
+check 200 /v1/predict '{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4}'
+resp=$(curl -s -X POST -d "$batch_body" "$base/v1/batch")
+case $resp in
+    *'"summary":{"items":3,"ok":3,"errors":0}'*) ;;
+    *) echo "serve_check: routed batch summary wrong: $resp"; exit 1 ;;
+esac
+last=$(curl -s -X POST -d "$batch_body" "$base/v1/batch?stream=1" | tail -n 1)
+[ "$last" = '{"summary":{"items":3,"ok":3,"errors":0}}' ] || { echo "serve_check: routed batch stream trailer: $last"; exit 1; }
+
+# All backends down: drain both replicas, then the router must answer 503
+# "no healthy replica" (transport failures and the prober both report it).
+kill -TERM "$r1pid" "$r2pid"
+wait "$r1pid" || { echo "serve_check: replica 1 non-zero exit"; cat "$r1log"; exit 1; }
+wait "$r2pid" || { echo "serve_check: replica 2 non-zero exit"; cat "$r2log"; exit 1; }
+r1pid=""; r2pid=""
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"kernel":"matmul","n":16,"tiles":[4,4,4],"cacheKB":4}' "$base/v1/predict")
+[ "$code" = "503" ] || { echo "serve_check: router with no backends -> $code (want 503)"; exit 1; }
+
+# Graceful router drain: SIGTERM, clean exit, the drain line.
+kill -TERM "$rtpid"
+wait "$rtpid" || { echo "serve_check: router non-zero exit after SIGTERM"; cat "$rtlog"; exit 1; }
+grep -q "analysisrouter: drained cleanly" "$rtlog" || { echo "serve_check: no router clean-drain line"; cat "$rtlog"; exit 1; }
+rtpid=""
+
+echo "serve_check: cluster OK ($base)"
